@@ -1,0 +1,56 @@
+// Command suu-bench regenerates the experiment tables of
+// EXPERIMENTS.md — the empirical validation of every theorem of the
+// paper plus the ablations (see DESIGN.md §6 for the index).
+//
+// Usage:
+//
+//	suu-bench                 # run everything (minutes)
+//	suu-bench -quick          # smaller sweeps (tens of seconds)
+//	suu-bench -only T6,A2     # selected experiments
+//
+// Figure reproductions (F1, F3) live in suu-trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"suu/internal/exp"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "smaller sweeps and repetition counts")
+		only  = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	cfg := exp.Config{Quick: *quick, Seed: *seed}
+
+	ids := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			ids[strings.TrimSpace(id)] = true
+		}
+	}
+
+	fmt.Printf("# SUU experiment run (%s, quick=%v, seed=%d)\n\n",
+		time.Now().Format("2006-01-02"), *quick, *seed)
+	ran := 0
+	for _, drv := range exp.Drivers {
+		if len(ids) > 0 && !ids[drv.ID] {
+			continue
+		}
+		start := time.Now()
+		table := drv.Run(cfg)
+		fmt.Println(table.Markdown())
+		fmt.Printf("_%s completed in %.1fs_\n\n", drv.ID, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("no experiment matched -only=%q", *only)
+	}
+}

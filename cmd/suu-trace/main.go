@@ -1,0 +1,172 @@
+// Command suu-trace reproduces the paper's illustrative figures on a
+// concrete instance:
+//
+//   - Figure 1 (left): the Markov chain of a regimen — every reachable
+//     unfinished-set state, its assignment, and transition probabilities;
+//   - Figure 1 (right): the execution tree of a schedule truncated at a
+//     chosen depth;
+//   - Figure 3: the network-flow instance built inside the LP1 rounding
+//     (-flow).
+//
+// By default it uses a 3-job, 2-machine example in the spirit of the
+// paper's Figure 1; pass -f to trace an instance from suu-gen.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"suu/internal/core"
+	"suu/internal/model"
+	"suu/internal/opt"
+	"suu/internal/sched"
+)
+
+func jobSet(mask uint64, n int) string {
+	var parts []string
+	for j := 0; j < n; j++ {
+		if mask&(1<<uint(j)) != 0 {
+			parts = append(parts, fmt.Sprint(j+1))
+		}
+	}
+	if len(parts) == 0 {
+		return "∅"
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func defaultInstance() *model.Instance {
+	in := model.New(3, 2)
+	in.P[0][0], in.P[0][1], in.P[0][2] = 0.7, 0.3, 0.2
+	in.P[1][0], in.P[1][1], in.P[1][2] = 0.2, 0.6, 0.5
+	return in
+}
+
+func main() {
+	var (
+		file  = flag.String("f", "", "instance file (JSON); default: built-in 3-job example")
+		depth = flag.Int("depth", 2, "execution tree depth")
+		flow  = flag.Bool("flow", false, "print the LP1 rounding flow network (Figure 3) instead")
+		dot   = flag.Bool("dot", false, "emit the Markov chain as Graphviz dot instead of text")
+	)
+	flag.Parse()
+
+	in := defaultInstance()
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = &model.Instance{}
+		if err := json.NewDecoder(f).Decode(in); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *flow {
+		printFlow(in)
+		return
+	}
+
+	reg, topt, err := opt.OptimalRegimen(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dot {
+		printMarkovDOT(in, reg)
+		return
+	}
+	fmt.Printf("== Figure 1 (left): Markov chain of the optimal regimen ==\n")
+	fmt.Printf("instance: %d jobs, %d machines; exact E[makespan] = %.4f\n\n", in.N, in.M, topt)
+	states, err := opt.ClosedStates(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	unf := make([]bool, in.N)
+	for k := len(states) - 1; k >= 0; k-- {
+		s := states[k]
+		if s == 0 {
+			fmt.Printf("state ∅: done\n")
+			continue
+		}
+		for j := 0; j < in.N; j++ {
+			unf[j] = s&(1<<uint(j)) != 0
+		}
+		a := reg.Assign(&sched.State{Unfinished: unf})
+		fmt.Printf("state %s: assignment %v\n", jobSet(s, in.N), []int(a))
+		for _, tr := range opt.Transitions(in, s, a) {
+			fmt.Printf("    --%.4f--> %s\n", tr.Prob, jobSet(tr.Next, in.N))
+		}
+	}
+
+	fmt.Printf("\n== Figure 1 (right): execution tree to depth %d ==\n", *depth)
+	full := uint64(1)<<uint(in.N) - 1
+	var walk func(s uint64, d int, prefix string, p float64)
+	walk = func(s uint64, d int, prefix string, p float64) {
+		fmt.Printf("%s%s (reach prob %.4f)\n", prefix, jobSet(s, in.N), p)
+		if d == *depth || s == 0 {
+			return
+		}
+		for j := 0; j < in.N; j++ {
+			unf[j] = s&(1<<uint(j)) != 0
+		}
+		a := reg.Assign(&sched.State{Unfinished: unf})
+		for _, tr := range opt.Transitions(in, s, a) {
+			walk(tr.Next, d+1, prefix+"    ", p*tr.Prob)
+		}
+	}
+	walk(full, 0, "", 1)
+}
+
+func printFlow(in *model.Instance) {
+	fmt.Printf("== Figure 3: LP1 rounding flow network ==\n")
+	cover := in.Prec.MinChainCover()
+	fs, err := core.SolveLP1(in, cover, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ints, err := core.RoundLP(in, fs, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LP optimum T* = %.3f; rounding scale S=%d, lift λ=%d\n", fs.T, ints.Scale, ints.Lambda)
+	if ints.Flow == nil {
+		fmt.Println("rounding used the direct round-up case (t ≥ n or heavy entries);")
+		fmt.Println("re-run with more machines / smaller probabilities to engage the flow")
+		fmt.Println("(e.g. suu-gen -family chains -jobs 8 -machines 12 -hi 0.3 | suu-trace -f - -flow).")
+		return
+	}
+	fmt.Print(ints.Flow)
+}
+
+// printMarkovDOT renders the regimen's Markov chain (Figure 1, left)
+// in Graphviz dot syntax: one node per reachable unfinished set, one
+// edge per positive-probability transition.
+func printMarkovDOT(in *model.Instance, reg *sched.Regimen) {
+	states, err := opt.ClosedStates(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("digraph regimen {")
+	fmt.Println("  rankdir=LR;")
+	unf := make([]bool, in.N)
+	for _, s := range states {
+		fmt.Printf("  s%d [label=%q];\n", s, jobSet(s, in.N))
+		if s == 0 {
+			continue
+		}
+		for j := 0; j < in.N; j++ {
+			unf[j] = s&(1<<uint(j)) != 0
+		}
+		a := reg.Assign(&sched.State{Unfinished: unf})
+		for _, tr := range opt.Transitions(in, s, a) {
+			fmt.Printf("  s%d -> s%d [label=\"%.3f\"];\n", s, tr.Next, tr.Prob)
+		}
+	}
+	fmt.Println("}")
+}

@@ -1,0 +1,68 @@
+package suu_test
+
+import (
+	"fmt"
+
+	"suu"
+)
+
+// ExampleSolve builds a two-chain project and lets the dispatcher pick
+// the Theorem 4.4 construction.
+func ExampleSolve() {
+	inst := suu.NewInstance(4, 2)
+	inst.SetProb(0, 0, 0.8)
+	inst.SetProb(0, 1, 0.6)
+	inst.SetProb(1, 2, 0.7)
+	inst.SetProb(1, 3, 0.5)
+	inst.AddPrecedence(0, 1) // chain 1: 0 -> 1
+	inst.AddPrecedence(2, 3) // chain 2: 2 -> 3
+
+	s, err := suu.Solve(inst, suu.WithSeed(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(inst.Class(), "→", s.Kind)
+	// Output: chains → chains (Thm 4.4)
+}
+
+// ExampleAdaptive runs the paper's greedy adaptive scheduler.
+func ExampleAdaptive() {
+	inst := suu.NewInstance(2, 2)
+	inst.SetProb(0, 0, 1)
+	inst.SetProb(1, 1, 1)
+
+	s := suu.Adaptive(inst)
+	makespan, completed := s.RunOnce(inst, 1, 100)
+	fmt.Println(makespan, completed)
+	// Output: 1 true
+}
+
+// ExampleOptimal computes an exact optimum for a tiny instance.
+func ExampleOptimal() {
+	inst := suu.NewInstance(1, 1)
+	inst.SetProb(0, 0, 0.5) // geometric with mean 2
+
+	_, topt, err := suu.Optimal(inst)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%.1f\n", topt)
+	// Output: 2.0
+}
+
+// ExampleInstance_Class shows the dag classification driving dispatch.
+func ExampleInstance_Class() {
+	inst := suu.NewInstance(3, 1)
+	for j := 0; j < 3; j++ {
+		inst.SetProb(0, j, 0.5)
+	}
+	fmt.Println(inst.Class())
+	inst.AddPrecedence(0, 1)
+	inst.AddPrecedence(0, 2)
+	fmt.Println(inst.Class())
+	// Output:
+	// independent
+	// out-forest
+}

@@ -1,0 +1,74 @@
+// Command adaptive-vs-oblivious contrasts the three independent-jobs
+// algorithms of the paper — adaptive SUU-I-ALG (Theorem 3.3),
+// combinatorial oblivious SUU-I-OBL (Theorem 3.6) and the LP-based
+// oblivious schedule (Theorem 4.5) — against the exact optimum across
+// a sweep of instance sizes, illustrating the price of obliviousness.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"suu"
+)
+
+func randomIndependent(n, m int, seed int64) *suu.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	inst := suu.NewInstance(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			inst.SetProb(i, j, 0.05+0.9*rng.Float64())
+		}
+	}
+	return inst
+}
+
+func main() {
+	fmt.Printf("%-4s %-4s %-10s %-12s %-12s %-12s\n",
+		"n", "m", "exact OPT", "adaptive", "comb-obl", "lp-obl")
+	for _, n := range []int{3, 5, 7, 9} {
+		m := 3
+		inst := randomIndependent(n, m, int64(100+n))
+		if err := inst.Validate(); err != nil {
+			log.Fatal(err)
+		}
+
+		_, topt, err := suu.Optimal(inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		adaptive := suu.Adaptive(inst)
+		comb, err := suu.ObliviousCombinatorial(inst, suu.WithSeed(int64(n)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		lpObl, err := suu.Solve(inst, suu.WithSeed(int64(n)))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		reps := 600
+		ea, err := adaptive.EstimateMakespan(inst, reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ec, err := comb.EstimateMakespan(inst, reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		el, err := lpObl.EstimateMakespan(inst, reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-4d %-4d %-10.2f %-5.2f (%.1fx) %-5.2f (%.1fx) %-5.2f (%.1fx)\n",
+			n, m, topt,
+			ea.Mean, ea.Mean/topt,
+			ec.Mean, ec.Mean/topt,
+			el.Mean, el.Mean/topt)
+	}
+	fmt.Println("\nadaptive tracks OPT closely; oblivious schedules pay the")
+	fmt.Println("polylog replication premium but need no runtime feedback.")
+}

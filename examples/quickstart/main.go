@@ -1,0 +1,52 @@
+// Command quickstart is the smallest end-to-end use of the suu
+// library: build an instance by hand, solve it with the automatic
+// dispatcher, and estimate the expected makespan by simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"suu"
+)
+
+func main() {
+	// Three unit jobs, two machines. Machine 0 is reliable on job 0,
+	// machine 1 on job 1; job 2 is hard for everyone. Job 0 must finish
+	// before job 2 may start.
+	inst := suu.NewInstance(3, 2)
+	inst.SetProb(0, 0, 0.9)
+	inst.SetProb(1, 0, 0.2)
+	inst.SetProb(0, 1, 0.3)
+	inst.SetProb(1, 1, 0.8)
+	inst.SetProb(0, 2, 0.25)
+	inst.SetProb(1, 2, 0.25)
+	if err := inst.AddPrecedence(0, 2); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("instance: %d jobs, %d machines, class %q, width %d\n",
+		inst.Jobs(), inst.Machines(), inst.Class(), inst.Width())
+
+	// Solve picks the paper's strongest construction for the class.
+	s, err := suu.Solve(inst, suu.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("construction: %s, guarantee %s\n", s.Kind, s.Guarantee)
+	fmt.Printf("oblivious prefix: %d steps (core %d)\n", s.PrefixLen, s.CoreLength)
+
+	est, err := s.EstimateMakespan(inst, 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated expected makespan: %s\n", est)
+
+	// This instance is tiny, so the exact optimum is available too.
+	_, topt, err := suu.Optimal(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact optimal expected makespan: %.3f (ratio %.2f)\n",
+		topt, est.Mean/topt)
+}

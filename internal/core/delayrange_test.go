@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"suu/internal/workload"
+)
+
+func TestSUUChainsOnBlockMatchesSUUChains(t *testing.T) {
+	in := workload.Chains(workload.Config{Jobs: 8, Machines: 3, Seed: 9}, 2)
+	chains, err := in.Prec.Chains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := SUUChains(in, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SUUChainsOnBlock(in, chains, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same chain set, same delay range → identical schedules.
+	if a.Schedule.Len() != b.Schedule.Len() || a.TStar != b.TStar || a.Congestion != b.Congestion {
+		t.Errorf("block entry point diverged: len %d/%d T* %v/%v cong %d/%d",
+			a.Schedule.Len(), b.Schedule.Len(), a.TStar, b.TStar, a.Congestion, b.Congestion)
+	}
+}
+
+func TestTreeDelayRangeIsNarrower(t *testing.T) {
+	// The Thm 4.8 path must draw delays from [0, Πmax/log n]: every
+	// per-block delay in a rank decomposition run is bounded by
+	// Πmax/log₂(n) (+slack for the normalization by the minimum).
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 5; trial++ {
+		in := workload.OutTree(workload.Config{Jobs: 20, Machines: 4, Seed: rng.Int63()})
+		res, err := SUUForest(in, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		div := log2Ceil(in.N)
+		for bi, br := range res.BlockResults {
+			bound := br.MaxLoad/div + 1
+			if bound < 2 {
+				bound = 2
+			}
+			for k, d := range br.Delays {
+				if d > bound {
+					t.Errorf("trial %d block %d chain %d: delay %d exceeds Πmax/log bound %d (Πmax=%d)",
+						trial, bi, k, d, bound, br.MaxLoad)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"suu/internal/model"
+	"suu/internal/sched"
+	"suu/internal/sim"
+)
+
+func TestLearningPolicyCompletes(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	in := randomInstance(6, 3, rng)
+	lp := NewLearningPolicy(in, 0.5)
+	res := sim.Run(in, lp, 1_000_000, rand.New(rand.NewSource(1)))
+	if !res.Completed {
+		t.Fatal("learning policy did not complete")
+	}
+}
+
+func TestLearningPolicySingleMachineEstimateConverges(t *testing.T) {
+	// One machine, one hard job with p = 0.2: posterior mean must
+	// approach 0.2 as attempts accumulate across repeated episodes.
+	in := model.New(1, 1)
+	in.P[0][0] = 0.2
+	lp := NewLearningPolicy(in, 0)
+	rng := rand.New(rand.NewSource(5))
+	for episode := 0; episode < 400; episode++ {
+		sim.Run(in, lp, 100000, rng)
+	}
+	est := lp.Estimate(0, 0)
+	if math.Abs(est-0.2) > 0.05 {
+		t.Errorf("estimate %v, want ≈0.2 (attempts %v)", est, lp.Attempts(0, 0))
+	}
+}
+
+func TestLearningPolicyPrefersBetterMachinePair(t *testing.T) {
+	// Two jobs, two machines with strongly asymmetric skills. After
+	// enough episodes, the learner's estimates should rank each
+	// machine's own specialty above the other job.
+	in := model.New(2, 2)
+	in.P[0][0], in.P[0][1] = 0.9, 0.05
+	in.P[1][0], in.P[1][1] = 0.05, 0.9
+	lp := NewLearningPolicy(in, 1.0)
+	rng := rand.New(rand.NewSource(7))
+	for episode := 0; episode < 300; episode++ {
+		sim.Run(in, lp, 100000, rng)
+	}
+	if lp.Estimate(0, 0) <= lp.Estimate(0, 1) {
+		t.Errorf("machine 0: est(job0)=%v <= est(job1)=%v", lp.Estimate(0, 0), lp.Estimate(0, 1))
+	}
+	if lp.Estimate(1, 1) <= lp.Estimate(1, 0) {
+		t.Errorf("machine 1: est(job1)=%v <= est(job0)=%v", lp.Estimate(1, 1), lp.Estimate(1, 0))
+	}
+}
+
+func TestLearningPolicyApproachesAdaptive(t *testing.T) {
+	// With many episodes of training, the learner's per-episode
+	// makespan should approach the clairvoyant adaptive policy's.
+	rng := rand.New(rand.NewSource(11))
+	in := randomInstance(4, 2, rng)
+	lp := NewLearningPolicy(in, 0.5)
+	trainRng := rand.New(rand.NewSource(13))
+	for episode := 0; episode < 500; episode++ {
+		sim.Run(in, lp, 100000, trainRng)
+	}
+	// Evaluate: average episode length of the trained learner vs the
+	// adaptive policy with true probabilities.
+	evalRng := rand.New(rand.NewSource(17))
+	var learnSum, adaptSum float64
+	const evals = 400
+	for k := 0; k < evals; k++ {
+		learnSum += float64(sim.Run(in, lp, 100000, evalRng).Makespan)
+		adaptSum += float64(sim.Run(in, &AdaptivePolicy{In: in}, 100000, evalRng).Makespan)
+	}
+	learned, adaptive := learnSum/evals, adaptSum/evals
+	if learned > 1.6*adaptive+1 {
+		t.Errorf("trained learner %v much worse than clairvoyant adaptive %v", learned, adaptive)
+	}
+}
+
+func TestLearningPolicyFailureUpdatesExact(t *testing.T) {
+	// Machines assigned to a job that does NOT complete must all get a
+	// β increment (exact failure update).
+	in := model.New(1, 2)
+	in.P[0][0], in.P[1][0] = 0.01, 0.01
+	lp := NewLearningPolicy(in, 1) // optimism forces assignment
+	st := &sched.State{Unfinished: []bool{true}, Eligible: []bool{true}}
+	a := lp.Assign(st)
+	assigned := 0
+	for _, j := range a {
+		if j == 0 {
+			assigned++
+		}
+	}
+	if assigned == 0 {
+		t.Fatal("learner assigned nothing")
+	}
+	before0, before1 := lp.Attempts(0, 0), lp.Attempts(1, 0)
+	lp.Observe(a, []bool{false}) // job did not complete → exact failure fold-in
+	gained := (lp.Attempts(0, 0) - before0) + (lp.Attempts(1, 0) - before1)
+	if int(gained+0.5) != assigned {
+		t.Errorf("attempts gained %v, want %d", gained, assigned)
+	}
+	if lp.Estimate(0, 0) > 0.5 && lp.Estimate(1, 0) > 0.5 {
+		t.Error("failure did not lower any posterior mean")
+	}
+	// Success with a single machine must be the exact Beta update.
+	lp2 := NewLearningPolicy(in, 0)
+	lp2.Observe(sched.Assignment{0, sched.Idle}, []bool{true})
+	if math.Abs(lp2.Estimate(0, 0)-2.0/3) > 1e-12 {
+		t.Errorf("single-machine success: estimate %v, want 2/3", lp2.Estimate(0, 0))
+	}
+}

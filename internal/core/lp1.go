@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"suu/internal/lp"
+	"suu/internal/model"
+)
+
+// FracSolution is an optimal fractional solution of (LP1) or (LP2),
+// restricted to a job scope (the whole job set, or one decomposition
+// block).
+type FracSolution struct {
+	// Jobs lists the job indices in scope.
+	Jobs []int
+	// X[i][j] is machine i's fractional step count on job j (indexed by
+	// original job id; zero outside the scope).
+	X [][]float64
+	// D[j] is d_j, the fractional window length of job j (1 when the
+	// relaxation had no d variables).
+	D []float64
+	// T is the optimal LP value t (T* in the paper).
+	T float64
+	// Iterations reports simplex pivots, for the harness.
+	Iterations int
+}
+
+// buildVars enumerates the x variables: one per (machine, job) pair
+// with positive success probability and the job in scope.
+func buildVars(in *model.Instance, jobs []int) (pairs []pairPJ) {
+	for _, j := range jobs {
+		for i := 0; i < in.M; i++ {
+			if in.P[i][j] > 0 {
+				pairs = append(pairs, pairPJ{i: i, j: j, p: in.P[i][j]})
+			}
+		}
+	}
+	return pairs
+}
+
+// SolveLP1 formulates and solves (LP1) of Section 4.1 for the given
+// chain set: minimize t subject to
+//
+//	Σ_i p_ij·x_ij ≥ target          ∀ jobs j in scope      (mass)
+//	Σ_j x_ij ≤ t                    ∀ machines i           (load)
+//	Σ_{j∈C_k} d_j ≤ t               ∀ chains C_k           (chain time)
+//	x_ij ≤ d_j, d_j ≥ 1, x_ij ≥ 0
+//
+// d_j ≥ 1 is enforced by the substitution d_j = d'_j + 1, d'_j ≥ 0.
+// The chains must be disjoint; their union is the job scope.
+func SolveLP1(in *model.Instance, chains [][]int, target float64) (*FracSolution, error) {
+	var jobs []int
+	chainOf := make(map[int]int)
+	for k, c := range chains {
+		for _, j := range c {
+			if _, dup := chainOf[j]; dup {
+				return nil, fmt.Errorf("core: job %d appears in two chains", j)
+			}
+			chainOf[j] = k
+			jobs = append(jobs, j)
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("core: empty chain set")
+	}
+	pairs := buildVars(in, jobs)
+	nv := len(pairs)
+	dBase := nv // d'_j variables, one per job in scope order
+	tVar := nv + len(jobs)
+	prob := lp.NewProblem(tVar + 1)
+	prob.SetObjectiveCoef(tVar, 1)
+
+	dIdx := make(map[int]int, len(jobs))
+	for jj, j := range jobs {
+		dIdx[j] = dBase + jj
+	}
+	// (mass) per job.
+	massTerms := make(map[int][]lp.Term)
+	// (load) per machine.
+	loadTerms := make([][]lp.Term, in.M)
+	for v, pr := range pairs {
+		massTerms[pr.j] = append(massTerms[pr.j], lp.Term{Var: v, Coef: pr.p})
+		loadTerms[pr.i] = append(loadTerms[pr.i], lp.Term{Var: v, Coef: 1})
+		// x_ij ≤ d_j  ⇔  x_ij − d'_j ≤ 1.
+		prob.AddConstraint([]lp.Term{{Var: v, Coef: 1}, {Var: dIdx[pr.j], Coef: -1}}, lp.LE, 1)
+	}
+	for _, j := range jobs {
+		terms := massTerms[j]
+		if len(terms) == 0 {
+			return nil, fmt.Errorf("core: job %d has no capable machine", j)
+		}
+		prob.AddConstraint(terms, lp.GE, target)
+	}
+	for i := 0; i < in.M; i++ {
+		if len(loadTerms[i]) == 0 {
+			continue
+		}
+		terms := append(append([]lp.Term(nil), loadTerms[i]...), lp.Term{Var: tVar, Coef: -1})
+		prob.AddConstraint(terms, lp.LE, 0)
+	}
+	for _, c := range chains {
+		terms := make([]lp.Term, 0, len(c)+1)
+		for _, j := range c {
+			terms = append(terms, lp.Term{Var: dIdx[j], Coef: 1})
+		}
+		terms = append(terms, lp.Term{Var: tVar, Coef: -1})
+		prob.AddConstraint(terms, lp.LE, -float64(len(c)))
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("core: LP1 solve: %w", err)
+	}
+	return extractSolution(in, jobs, pairs, sol, dIdx, tVar), nil
+}
+
+// SolveLP2 formulates and solves (LP2) of Theorem 4.5 — (LP1) without
+// the chain/window constraints — for an independent job scope.
+func SolveLP2(in *model.Instance, jobs []int, target float64) (*FracSolution, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("core: empty job scope")
+	}
+	pairs := buildVars(in, jobs)
+	nv := len(pairs)
+	tVar := nv
+	prob := lp.NewProblem(tVar + 1)
+	prob.SetObjectiveCoef(tVar, 1)
+	massTerms := make(map[int][]lp.Term)
+	loadTerms := make([][]lp.Term, in.M)
+	for v, pr := range pairs {
+		massTerms[pr.j] = append(massTerms[pr.j], lp.Term{Var: v, Coef: pr.p})
+		loadTerms[pr.i] = append(loadTerms[pr.i], lp.Term{Var: v, Coef: 1})
+	}
+	for _, j := range jobs {
+		terms := massTerms[j]
+		if len(terms) == 0 {
+			return nil, fmt.Errorf("core: job %d has no capable machine", j)
+		}
+		prob.AddConstraint(terms, lp.GE, target)
+	}
+	for i := 0; i < in.M; i++ {
+		if len(loadTerms[i]) == 0 {
+			continue
+		}
+		terms := append(append([]lp.Term(nil), loadTerms[i]...), lp.Term{Var: tVar, Coef: -1})
+		prob.AddConstraint(terms, lp.LE, 0)
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("core: LP2 solve: %w", err)
+	}
+	return extractSolution(in, jobs, pairs, sol, nil, tVar), nil
+}
+
+func extractSolution(in *model.Instance, jobs []int, pairs []pairPJ, sol *lp.Solution, dIdx map[int]int, tVar int) *FracSolution {
+	fs := &FracSolution{
+		Jobs:       append([]int(nil), jobs...),
+		X:          make([][]float64, in.M),
+		D:          make([]float64, in.N),
+		T:          sol.X[tVar],
+		Iterations: sol.Iterations,
+	}
+	for i := range fs.X {
+		fs.X[i] = make([]float64, in.N)
+	}
+	for v, pr := range pairs {
+		fs.X[pr.i][pr.j] = sol.X[v]
+	}
+	for _, j := range jobs {
+		if dIdx != nil {
+			fs.D[j] = sol.X[dIdx[j]] + 1
+		} else {
+			fs.D[j] = 1
+		}
+	}
+	return fs
+}
+
+// LPLowerBound converts an (LP1) optimum T* into a lower bound on the
+// optimal expected makespan via Lemma 4.2 (T* ≤ 16·T_OPT when the LP
+// targets mass 1/2): T_OPT ≥ T*/16. For a different mass target τ the
+// same proof gives T* ≤ 2·T_OPT·max(1, 16τ) — callers should use the
+// 1/2 default for the canonical bound.
+func LPLowerBound(tStar float64) float64 { return tStar / 16 }

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"suu/internal/model"
+	"suu/internal/opt"
+)
+
+// chainInstance builds an instance whose dag is the given chains over
+// jobs 0..n-1 with random probabilities.
+func chainInstance(n, m int, chains [][]int, rng *rand.Rand) *model.Instance {
+	in := randomInstance(n, m, rng)
+	for _, c := range chains {
+		for k := 0; k+1 < len(c); k++ {
+			in.Prec.MustEdge(c[k], c[k+1])
+		}
+	}
+	return in
+}
+
+func fracFeasibility(t *testing.T, in *model.Instance, chains [][]int, fs *FracSolution, target float64) {
+	t.Helper()
+	// Mass constraints.
+	for _, j := range fs.Jobs {
+		mass := 0.0
+		for i := 0; i < in.M; i++ {
+			mass += in.P[i][j] * fs.X[i][j]
+		}
+		if mass < target-1e-6 {
+			t.Errorf("LP mass for job %d = %v < %v", j, mass, target)
+		}
+	}
+	// Load constraints.
+	for i := 0; i < in.M; i++ {
+		load := 0.0
+		for _, j := range fs.Jobs {
+			load += fs.X[i][j]
+		}
+		if load > fs.T+1e-6 {
+			t.Errorf("machine %d load %v > t=%v", i, load, fs.T)
+		}
+	}
+	// Chain and window constraints.
+	for _, c := range chains {
+		sum := 0.0
+		for _, j := range c {
+			if fs.D[j] < 1-1e-9 {
+				t.Errorf("d_%d = %v < 1", j, fs.D[j])
+			}
+			sum += fs.D[j]
+			for i := 0; i < in.M; i++ {
+				if fs.X[i][j] > fs.D[j]+1e-6 {
+					t.Errorf("x[%d][%d]=%v > d=%v", i, j, fs.X[i][j], fs.D[j])
+				}
+			}
+		}
+		if sum > fs.T+1e-6 {
+			t.Errorf("chain %v: Σd=%v > t=%v", c, sum, fs.T)
+		}
+	}
+}
+
+func TestSolveLP1FeasibleSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(4)
+		// Split jobs into 1–3 chains.
+		var chains [][]int
+		var cur []int
+		for j := 0; j < n; j++ {
+			cur = append(cur, j)
+			if rng.Intn(3) == 0 {
+				chains = append(chains, cur)
+				cur = nil
+			}
+		}
+		if len(cur) > 0 {
+			chains = append(chains, cur)
+		}
+		in := chainInstance(n, m, chains, rng)
+		fs, err := SolveLP1(in, chains, 0.5)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		fracFeasibility(t, in, chains, fs, 0.5)
+	}
+}
+
+func TestSolveLP1SingleJob(t *testing.T) {
+	in := model.New(1, 1)
+	in.P[0][0] = 0.25
+	fs, err := SolveLP1(in, [][]int{{0}}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Needs x = 2 steps of p=0.25 for mass 0.5; t >= max(x, d) = 2.
+	if math.Abs(fs.T-2) > 1e-6 {
+		t.Errorf("T*=%v, want 2", fs.T)
+	}
+}
+
+func TestSolveLP2MatchesLP1WithoutChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	in := randomInstance(4, 3, rng)
+	jobs := []int{0, 1, 2, 3}
+	singleton := [][]int{{0}, {1}, {2}, {3}}
+	fs1, err := SolveLP1(in, singleton, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := SolveLP2(in, jobs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LP2 drops constraints, so its optimum can only be <= LP1's.
+	if fs2.T > fs1.T+1e-6 {
+		t.Errorf("LP2 T=%v > LP1 T=%v", fs2.T, fs1.T)
+	}
+}
+
+// Lemma 4.2 (empirical): T*/16 ≤ T_OPT on instances small enough for
+// the exact solver.
+func TestLemma42LowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + rng.Intn(3)
+		m := 1 + rng.Intn(2)
+		chains := [][]int{}
+		half := n / 2
+		if half > 0 {
+			c1 := make([]int, half)
+			for k := range c1 {
+				c1[k] = k
+			}
+			chains = append(chains, c1)
+		}
+		c2 := make([]int, n-half)
+		for k := range c2 {
+			c2[k] = half + k
+		}
+		chains = append(chains, c2)
+		in := chainInstance(n, m, chains, rng)
+		fs, err := SolveLP1(in, chains, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, topt, err := opt.OptimalRegimen(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb := LPLowerBound(fs.T); lb > topt+1e-9 {
+			t.Errorf("trial %d: LP lower bound %v exceeds exact T_OPT %v", trial, lb, topt)
+		}
+	}
+}
+
+func TestRoundLPPostconditions(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(5)
+		var chains [][]int
+		var cur []int
+		for j := 0; j < n; j++ {
+			cur = append(cur, j)
+			if rng.Intn(2) == 0 {
+				chains = append(chains, cur)
+				cur = nil
+			}
+		}
+		if len(cur) > 0 {
+			chains = append(chains, cur)
+		}
+		in := chainInstance(n, m, chains, rng)
+		fs, err := SolveLP1(in, chains, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ints, err := RoundLP(in, fs, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mm := ints.MinMass(in); mm < 0.5-1e-9 {
+			t.Errorf("trial %d: rounded min mass %v < 0.5", trial, mm)
+		}
+		for i := range ints.X {
+			for j := range ints.X[i] {
+				if ints.X[i][j] < 0 {
+					t.Fatalf("negative count")
+				}
+				if ints.X[i][j] > 0 && in.P[i][j] == 0 {
+					t.Errorf("count on zero-probability pair (%d,%d)", i, j)
+				}
+			}
+		}
+		// Load must stay within a polylog factor of T*: generous sanity
+		// bound of (Scale·Lambda·4 + 4)·T* + constants.
+		bound := float64(ints.Scale*ints.Lambda)*4*(fs.T+1) + 8
+		if load := float64(ints.Load()); load > bound {
+			t.Errorf("trial %d: load %v exceeds sanity bound %v (S=%d λ=%d T*=%v)",
+				trial, load, bound, ints.Scale, ints.Lambda, fs.T)
+		}
+	}
+}
+
+// Force the flow path of the rounding: many machines with small p
+// produce fractional x < 1 spread widely, so t < n and buckets engage.
+func TestRoundLPFlowPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n, m := 8, 12
+	in := model.New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			in.P[i][j] = 0.05 + 0.3*rng.Float64()
+		}
+	}
+	chains := [][]int{}
+	for j := 0; j < n; j++ {
+		chains = append(chains, []int{j})
+	}
+	fs, err := SolveLP1(in, chains, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.T >= float64(n) {
+		t.Skipf("instance did not trigger the t < n case (T*=%v)", fs.T)
+	}
+	ints, err := RoundLP(in, fs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm := ints.MinMass(in); mm < 0.5-1e-9 {
+		t.Errorf("flow-path min mass %v < 0.5", mm)
+	}
+	if ints.FlowJobs > 0 {
+		if ints.Flow == nil {
+			t.Fatal("flow jobs routed but no dump recorded")
+		}
+		if ints.Flow.RoutedDemand != ints.Flow.TotalDemand {
+			t.Errorf("flow under-routed: %d < %d", ints.Flow.RoutedDemand, ints.Flow.TotalDemand)
+		}
+		if ints.Flow.String() == "" {
+			t.Error("empty flow dump")
+		}
+	}
+	t.Logf("rounded: scale=%d lambda=%d flowJobs=%d roundedUp=%d load=%d",
+		ints.Scale, ints.Lambda, ints.FlowJobs, ints.RoundedUp, ints.Load())
+}
+
+func TestRoundLPCaseTgeN(t *testing.T) {
+	// One machine, poor probabilities: T* is big (>= n), exercising the
+	// simple round-up case.
+	in := model.New(2, 1)
+	in.P[0][0], in.P[0][1] = 0.1, 0.1
+	chains := [][]int{{0, 1}}
+	fs, err := SolveLP1(in, chains, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.T < 2 {
+		t.Fatalf("expected T* >= n, got %v", fs.T)
+	}
+	ints, err := RoundLP(in, fs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ints.RoundedUp != 2 || ints.FlowJobs != 0 {
+		t.Errorf("expected pure round-up case: %+v", ints)
+	}
+	if mm := ints.MinMass(in); mm < 0.5-1e-9 {
+		t.Errorf("min mass %v", mm)
+	}
+}

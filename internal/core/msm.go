@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sort"
+
+	"suu/internal/model"
+	"suu/internal/sched"
+)
+
+// pairPJ is one (machine, job) success probability, used by the greedy
+// orderings of MSM-ALG and MSM-E-ALG.
+type pairPJ struct {
+	i, j int
+	p    float64
+}
+
+// sortedPairs returns all (i,j) pairs with p[i][j] > 0 and j active,
+// in non-increasing probability order (ties broken by machine then job
+// index for determinism).
+func sortedPairs(in *model.Instance, active []bool) []pairPJ {
+	var ps []pairPJ
+	for i := 0; i < in.M; i++ {
+		for j := 0; j < in.N; j++ {
+			if active[j] && in.P[i][j] > 0 {
+				ps = append(ps, pairPJ{i, j, in.P[i][j]})
+			}
+		}
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].p != ps[b].p {
+			return ps[a].p > ps[b].p
+		}
+		if ps[a].i != ps[b].i {
+			return ps[a].i < ps[b].i
+		}
+		return ps[a].j < ps[b].j
+	})
+	return ps
+}
+
+// MSMAlg is MSM-ALG (Figure 2): the greedy 1/3-approximation for
+// MaxSumMass. It processes the p_ij in non-increasing order and
+// assigns machine i to job j when i is still free and j's accumulated
+// mass would stay at most 1. active[j] marks the jobs to serve;
+// machines left unused are Idle.
+func MSMAlg(in *model.Instance, active []bool) sched.Assignment {
+	f := sched.NewIdle(in.M)
+	mass := make([]float64, in.N)
+	for _, pr := range sortedPairs(in, active) {
+		if f[pr.i] != sched.Idle {
+			continue
+		}
+		if mass[pr.j]+pr.p <= 1+1e-12 {
+			f[pr.i] = pr.j
+			mass[pr.j] += pr.p
+		}
+	}
+	return f
+}
+
+// SumMass returns the MaxSumMass objective of an assignment: the sum
+// over jobs of min(1, Σ_{i: f(i)=j} p_ij).
+func SumMass(in *model.Instance, f sched.Assignment) float64 {
+	raw := make([]float64, in.N)
+	for i, j := range f {
+		if j != sched.Idle {
+			raw[j] += in.P[i][j]
+		}
+	}
+	total := 0.0
+	for _, v := range raw {
+		if v > 1 {
+			v = 1
+		}
+		total += v
+	}
+	return total
+}
+
+// BruteForceMSM exhaustively maximizes MaxSumMass over all
+// (|active|+1)^m assignments. Exponential; test/ground-truth use only.
+func BruteForceMSM(in *model.Instance, active []bool) (sched.Assignment, float64) {
+	var act []int
+	for j, a := range active {
+		if a {
+			act = append(act, j)
+		}
+	}
+	choices := len(act) + 1 // each machine: one of the active jobs, or idle
+	best := sched.NewIdle(in.M)
+	bestVal := 0.0
+	cur := make([]int, in.M)
+	a := sched.NewIdle(in.M)
+	for {
+		for i := 0; i < in.M; i++ {
+			if cur[i] == len(act) {
+				a[i] = sched.Idle
+			} else {
+				a[i] = act[cur[i]]
+			}
+		}
+		if v := SumMass(in, a); v > bestVal {
+			bestVal = v
+			best = a.Clone()
+		}
+		c := 0
+		for c < in.M {
+			cur[c]++
+			if cur[c] < choices {
+				break
+			}
+			cur[c] = 0
+			c++
+		}
+		if c == in.M {
+			break
+		}
+	}
+	return best, bestVal
+}
+
+// AdaptivePolicy is SUU-I-ALG (Figure 2): in every step it runs
+// MSM-ALG on the currently eligible unfinished jobs. For independent
+// jobs this is the O(log n)-approximation of Theorem 3.3; with
+// precedence constraints it remains a feasible (greedy) policy and is
+// used as an adaptive baseline.
+type AdaptivePolicy struct {
+	In *model.Instance
+}
+
+// Assign implements sched.Policy.
+func (p *AdaptivePolicy) Assign(st *sched.State) sched.Assignment {
+	return MSMAlg(p.In, st.Eligible)
+}

@@ -1,0 +1,77 @@
+// Package core implements the approximation algorithms of Lin &
+// Rajaraman, "Approximation Algorithms for Multiprocessor Scheduling
+// under Uncertainty" (SPAA 2007):
+//
+//   - MSM-ALG and MSM-E-ALG, the greedy 1/3-approximations for the
+//     MaxSumMass subproblems (Section 3.1, Figure 2; Lemma 3.4);
+//   - SUU-I-ALG, the adaptive O(log n)-approximation for independent
+//     jobs (Theorem 3.3);
+//   - SUU-I-OBL, the oblivious O(log² n)-approximation (Theorem 3.6);
+//   - the (LP1)/(LP2) relaxations for AccuMass-C, their rounding via
+//     bucketing and integral max flow (Theorem 4.1), pseudo-schedule
+//     construction, random-delay conversion and replication, yielding
+//     the chains algorithm (Theorem 4.4), the LP-based independent-jobs
+//     algorithm (Theorem 4.5) and the tree/forest algorithms
+//     (Theorems 4.7 and 4.8);
+//   - baseline policies used by the experiment harness.
+package core
+
+import "math"
+
+// Params collects the tunable constants of the constructions. The
+// defaults are the constants used in the paper's proofs; the ablation
+// experiments sweep them.
+type Params struct {
+	// MassTarget is the per-job mass every oblivious construction
+	// certifies before replication (the paper uses 1/2 in (LP1)).
+	MassTarget float64
+	// PeelThreshold is the mass at which SUU-I-OBL peels a job from
+	// the remaining set (1/96 in Lemma 3.5).
+	PeelThreshold float64
+	// PeelRoundsFactor caps SUU-I-OBL's inner loop at
+	// ceil(PeelRoundsFactor·log₂ n) rounds (66 in the paper).
+	PeelRoundsFactor int
+	// ReplicationFactor scales the σ = ReplicationFactor·⌈log₂ n⌉
+	// schedule replication of Section 4.1 (16 in the paper).
+	ReplicationFactor int
+	// DelayTries is how many uniformly random delay vectors the
+	// Las-Vegas delay search samples (the zero vector is always
+	// considered too).
+	DelayTries int
+	// Seed drives every randomized choice of the constructions.
+	Seed int64
+	// MaxDoublings caps SUU-I-OBL's doubling search of t as a safety
+	// net; the search provably stops after O(log(n/p_min)) doublings.
+	MaxDoublings int
+}
+
+// DefaultParams returns the paper's constants.
+func DefaultParams() Params {
+	return Params{
+		MassTarget:        0.5,
+		PeelThreshold:     1.0 / 96,
+		PeelRoundsFactor:  66,
+		ReplicationFactor: 16,
+		DelayTries:        64,
+		Seed:              1,
+		MaxDoublings:      62,
+	}
+}
+
+// log2Ceil returns ⌈log₂ x⌉ for x ≥ 1 (and 1 for x ≤ 2 to keep factors
+// positive on tiny instances).
+func log2Ceil(x int) int {
+	if x <= 2 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(x))))
+}
+
+// sigma returns the replication factor σ = ReplicationFactor·⌈log₂ n⌉.
+func (p Params) sigma(n int) int {
+	s := p.ReplicationFactor * log2Ceil(n)
+	if s < 1 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,213 @@
+package dag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecompositionIndependent(t *testing.T) {
+	d := New(4)
+	dc := d.ChainDecomposition()
+	if dc.Method != "trivial" || dc.Width() != 1 {
+		t.Fatalf("method=%q width=%d, want trivial/1", dc.Method, dc.Width())
+	}
+	if err := dc.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompositionChains(t *testing.T) {
+	d := New(5)
+	d.MustEdge(0, 1)
+	d.MustEdge(1, 2)
+	d.MustEdge(3, 4)
+	dc := d.ChainDecomposition()
+	if dc.Method != "chains" || dc.Width() != 1 {
+		t.Fatalf("method=%q width=%d, want chains/1", dc.Method, dc.Width())
+	}
+	if err := dc.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomOutTree builds a uniformly random recursive out-tree on n nodes.
+func randomOutTree(n int, rng *rand.Rand) *DAG {
+	d := New(n)
+	for v := 1; v < n; v++ {
+		d.MustEdge(rng.Intn(v), v)
+	}
+	return d
+}
+
+func TestRankDecompositionOutTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		d := randomOutTree(n, rng)
+		dc := d.ChainDecomposition()
+		if err := dc.Validate(d); err != nil {
+			t.Fatalf("n=%d trial=%d: %v", n, trial, err)
+		}
+		bound := int(math.Floor(math.Log2(float64(n)))) + 1
+		if dc.Width() > bound {
+			t.Errorf("n=%d: width %d exceeds log bound %d", n, dc.Width(), bound)
+		}
+	}
+}
+
+func TestRankDecompositionInTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		d := randomOutTree(n, rng).Reverse()
+		if n > 1 && d.Classify() != ClassInForest {
+			t.Fatalf("reverse of out-tree not in-forest: %v", d.Classify())
+		}
+		dc := d.ChainDecomposition()
+		if err := dc.Validate(d); err != nil {
+			t.Fatalf("n=%d trial=%d: %v", n, trial, err)
+		}
+		bound := int(math.Floor(math.Log2(float64(n)))) + 1
+		if dc.Width() > bound {
+			t.Errorf("n=%d: width %d exceeds log bound %d", n, dc.Width(), bound)
+		}
+	}
+}
+
+func TestMixedForestDecomposition(t *testing.T) {
+	// Component A: out-tree on {0..3}; component B: in-tree on {4..6}.
+	d := New(7)
+	d.MustEdge(0, 1)
+	d.MustEdge(0, 2)
+	d.MustEdge(2, 3)
+	d.MustEdge(4, 6)
+	d.MustEdge(5, 6)
+	if d.Classify() != ClassMixedForest {
+		t.Fatalf("Classify=%v, want mixed-forest", d.Classify())
+	}
+	dc := d.ChainDecomposition()
+	if dc.Method != "per-component" {
+		t.Errorf("method=%q", dc.Method)
+	}
+	if err := dc.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelFallbackGeneralDag(t *testing.T) {
+	d := New(4)
+	d.MustEdge(0, 1)
+	d.MustEdge(0, 2)
+	d.MustEdge(1, 3)
+	d.MustEdge(2, 3)
+	dc := d.ChainDecomposition()
+	if dc.Method != "level" {
+		t.Fatalf("method=%q, want level", dc.Method)
+	}
+	if dc.Width() != d.Depth() {
+		t.Errorf("level width %d != depth %d", dc.Width(), d.Depth())
+	}
+	if err := dc.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every decomposition of any random dag validates.
+func TestDecompositionAlwaysValid(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	prop := func(seed int64, nRaw uint8, p uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%25
+		prob := float64(p%90)/100.0 + 0.05
+		d := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < prob {
+					d.MustEdge(u, v)
+				}
+			}
+		}
+		return d.ChainDecomposition().Validate(d) == nil
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rank decomposition of random forests (mix of out and in
+// components) validates and respects the log-width bound per component
+// count.
+func TestRandomMixedForests(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		nc := 1 + rng.Intn(4)
+		total := 0
+		sizes := make([]int, nc)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(15)
+			total += sizes[i]
+		}
+		d := New(total)
+		base := 0
+		for i := 0; i < nc; i++ {
+			inTree := rng.Intn(2) == 0
+			for v := 1; v < sizes[i]; v++ {
+				p := base + rng.Intn(v)
+				c := base + v
+				if inTree {
+					d.MustEdge(c, p)
+				} else {
+					d.MustEdge(p, c)
+				}
+			}
+			base += sizes[i]
+		}
+		dc := d.ChainDecomposition()
+		if err := dc.Validate(d); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestBlockJobs(t *testing.T) {
+	b := Block{Chains: [][]int{{0, 1}, {2}}}
+	js := b.Jobs()
+	if len(js) != 3 || js[0] != 0 || js[1] != 1 || js[2] != 2 {
+		t.Errorf("Jobs=%v", js)
+	}
+}
+
+func TestValidateCatchesBrokenDecompositions(t *testing.T) {
+	d := New(3)
+	d.MustEdge(0, 1)
+	// Missing vertex.
+	bad := &Decomposition{Blocks: []Block{{Chains: [][]int{{0, 1}}}}}
+	if bad.Validate(d) == nil {
+		t.Error("missing vertex accepted")
+	}
+	// Duplicate vertex.
+	bad = &Decomposition{Blocks: []Block{{Chains: [][]int{{0, 1}, {1, 2}}}}}
+	if bad.Validate(d) == nil {
+		t.Error("duplicate vertex accepted")
+	}
+	// Precedence violated across blocks (1 before 0).
+	bad = &Decomposition{Blocks: []Block{
+		{Chains: [][]int{{1}, {2}}},
+		{Chains: [][]int{{0}}},
+	}}
+	if bad.Validate(d) == nil {
+		t.Error("order violation accepted")
+	}
+	// Same block, different chains, but 0 ≺ 1.
+	bad = &Decomposition{Blocks: []Block{{Chains: [][]int{{0}, {1}, {2}}}}}
+	if bad.Validate(d) == nil {
+		t.Error("same-block cross-chain precedence accepted")
+	}
+	// Correct one passes.
+	good := &Decomposition{Blocks: []Block{{Chains: [][]int{{0, 1}, {2}}}}}
+	if err := good.Validate(d); err != nil {
+		t.Errorf("valid decomposition rejected: %v", err)
+	}
+}

@@ -1,0 +1,42 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOT(t *testing.T) {
+	d := New(3)
+	d.MustEdge(0, 1)
+	d.MustEdge(1, 2)
+	out := d.DOT("g", nil)
+	for _, want := range []string{"digraph", "n0 -> n1", "n1 -> n2", `label="2"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	labeled := d.DOT("g", []string{"a", "b", "c"})
+	if !strings.Contains(labeled, `label="a"`) {
+		t.Error("labels ignored")
+	}
+}
+
+func TestDOTDecomposition(t *testing.T) {
+	d := New(4)
+	d.MustEdge(0, 1)
+	d.MustEdge(0, 2)
+	d.MustEdge(2, 3)
+	dc := d.ChainDecomposition()
+	out := d.DOTDecomposition("g", dc)
+	if !strings.Contains(out, "cluster_0") {
+		t.Errorf("no clusters:\n%s", out)
+	}
+	// A path graph yields a genuine multi-vertex chain, rendered bold.
+	p := New(3)
+	p.MustEdge(0, 1)
+	p.MustEdge(1, 2)
+	out2 := p.DOTDecomposition("path", p.ChainDecomposition())
+	if !strings.Contains(out2, "penwidth=2") {
+		t.Errorf("no chain edges marked:\n%s", out2)
+	}
+}

@@ -1,0 +1,60 @@
+package dag
+
+import "testing"
+
+// FuzzChainDecomposition feeds arbitrary edge lists (upward-directed,
+// hence acyclic) into the decomposition and validates properties
+// (i)/(ii) plus exact partitioning. Run with `go test -fuzz
+// FuzzChainDecomposition ./internal/dag` for deep exploration; the
+// seed corpus runs in regular test mode.
+func FuzzChainDecomposition(f *testing.F) {
+	f.Add([]byte{6, 0, 1, 1, 2, 0, 3})
+	f.Add([]byte{3})
+	f.Add([]byte{8, 0, 1, 0, 2, 0, 3, 1, 4, 2, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := 1 + int(data[0])%20
+		d := New(n)
+		for k := 1; k+1 < len(data); k += 2 {
+			u := int(data[k]) % n
+			v := int(data[k+1]) % n
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u // force edges upward: guarantees acyclicity
+			}
+			d.MustEdge(u, v)
+		}
+		dc := d.ChainDecomposition()
+		if err := dc.Validate(d); err != nil {
+			t.Fatalf("n=%d edges=%d method=%s: %v", n, d.E(), dc.Method, err)
+		}
+	})
+}
+
+// FuzzWidthCoverAgreement checks Dilworth duality (|MinChainCover| ==
+// Width) on arbitrary acyclic inputs.
+func FuzzWidthCoverAgreement(f *testing.F) {
+	f.Add([]byte{5, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := 1 + int(data[0])%12
+		d := New(n)
+		for k := 1; k+1 < len(data); k += 2 {
+			u := int(data[k]) % n
+			v := int(data[k+1]) % n
+			if u >= v {
+				continue
+			}
+			d.MustEdge(u, v)
+		}
+		if len(d.MinChainCover()) != d.Width() {
+			t.Fatalf("Dilworth violated on n=%d e=%d", n, d.E())
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package dag
+
+// Width returns the width of the dag: the size of a maximum antichain
+// (largest set of pairwise incomparable vertices). By Dilworth's
+// theorem this equals the minimum number of chains needed to cover the
+// vertex set of the comparability order; the minimum chain cover of
+// the transitive closure is n minus a maximum bipartite matching in
+// the closure's split graph, computed here with Kuhn's augmenting-path
+// algorithm. Requires acyclicity. O(n·E_closure) time.
+//
+// Malewicz (2005) showed SUU is solvable in polynomial time when both
+// the width and m are constants, and NP-hard otherwise; Width is used
+// by the experiment drivers to report instance difficulty.
+func (d *DAG) Width() int {
+	if d.n == 0 {
+		return 0
+	}
+	reach := d.TransitiveClosure()
+	// Bipartite graph: left copy u -- right copy v iff u can reach v.
+	matchR := make([]int, d.n) // matchR[v] = left vertex matched to right v
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	visited := make([]bool, d.n)
+	var try func(u int) bool
+	try = func(u int) bool {
+		for v := 0; v < d.n; v++ {
+			if !reach[u][v] || visited[v] {
+				continue
+			}
+			visited[v] = true
+			if matchR[v] == -1 || try(matchR[v]) {
+				matchR[v] = u
+				return true
+			}
+		}
+		return false
+	}
+	matching := 0
+	for u := 0; u < d.n; u++ {
+		for i := range visited {
+			visited[i] = false
+		}
+		if try(u) {
+			matching++
+		}
+	}
+	return d.n - matching
+}
+
+// MinChainCover returns a partition of the vertices into the minimum
+// number of chains of the comparability order (paths in the transitive
+// closure). The chains returned are vertex-disjoint and each is listed
+// in precedence order. Requires acyclicity.
+func (d *DAG) MinChainCover() [][]int {
+	if d.n == 0 {
+		return nil
+	}
+	reach := d.TransitiveClosure()
+	matchR := make([]int, d.n)
+	matchL := make([]int, d.n)
+	for i := range matchR {
+		matchR[i] = -1
+		matchL[i] = -1
+	}
+	visited := make([]bool, d.n)
+	var try func(u int) bool
+	try = func(u int) bool {
+		for v := 0; v < d.n; v++ {
+			if !reach[u][v] || visited[v] {
+				continue
+			}
+			visited[v] = true
+			if matchR[v] == -1 || try(matchR[v]) {
+				matchR[v] = u
+				matchL[u] = v
+				return true
+			}
+		}
+		return false
+	}
+	for u := 0; u < d.n; u++ {
+		for i := range visited {
+			visited[i] = false
+		}
+		try(u)
+	}
+	// Chain heads are vertices not matched on the right side.
+	var chains [][]int
+	for v := 0; v < d.n; v++ {
+		if matchR[v] != -1 {
+			continue
+		}
+		chain := []int{v}
+		u := v
+		for matchL[u] != -1 {
+			u = matchL[u]
+			chain = append(chain, u)
+		}
+		chains = append(chains, chain)
+	}
+	return chains
+}

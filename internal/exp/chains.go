@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"math"
+	"math/rand"
+
+	"suu/internal/core"
+	"suu/internal/model"
+	"suu/internal/sched"
+	"suu/internal/stats"
+	"suu/internal/workload"
+)
+
+// T6 validates Theorem 4.4: the chains pipeline stays within the
+// polylog bound of the LP lower bound across n, m, and chain-count
+// sweeps.
+func T6(cfg Config) *Table {
+	t := &Table{
+		ID:         "T6",
+		Title:      "Disjoint-chains pipeline ratio vs. LP lower bound",
+		PaperBound: "Theorem 4.4: E[makespan] ≤ O(log m·log n·log(n+m)/loglog(n+m))·T_OPT",
+		Header:     []string{"n", "m", "chains", "T*", "Πmax", "congestion", "mean ratio", "ratio/bound-shape"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 6))
+	type pt struct{ n, m, c int }
+	sweep := []pt{{6, 3, 2}, {12, 4, 3}, {24, 6, 4}, {48, 8, 6}}
+	if cfg.Quick {
+		sweep = sweep[:3]
+	}
+	for _, p := range sweep {
+		var ratios []float64
+		var tstar float64
+		maxLoad, cong := 0, 0
+		for k := 0; k < cfg.trials(); k++ {
+			in := workload.Chains(workload.Config{Jobs: p.n, Machines: p.m, Seed: rng.Int63()}, p.c)
+			res, err := core.SUUChains(in, paramsWithSeed(cfg.Seed))
+			if err != nil {
+				continue
+			}
+			tstar = res.TStar
+			maxLoad, cong = res.MaxLoad, res.Congestion
+			mean := estimate(in, res.Schedule, cfg.reps(), cfg.Seed)
+			if mean < 0 || res.LowerBound <= 0 {
+				continue
+			}
+			ratios = append(ratios, mean/res.LowerBound)
+		}
+		if len(ratios) == 0 {
+			continue
+		}
+		mr := stats.Mean(ratios)
+		shape := boundShapeChains(p.n, p.m)
+		t.Rows = append(t.Rows, []string{
+			d(p.n), d(p.m), d(p.c), f2(tstar), d(maxLoad), d(cong), f2(mr), f2(mr / shape),
+		})
+	}
+	t.Notes = "bound-shape = log₂m·log₂n·log₂(n+m)/loglog₂(n+m); the normalized column should stay roughly flat."
+	return t
+}
+
+func boundShapeChains(n, m int) float64 {
+	lm := stats.Log2(float64(m) + 1)
+	ln := stats.Log2(float64(n) + 1)
+	lnm := stats.Log2(float64(n+m) + 1)
+	ll := math.Log2(lnm + 2)
+	return lm * ln * lnm / ll
+}
+
+// T7 validates the random-delay congestion lemma of Section 4.1
+// (after Shmoys–Stein–Wein): delays drawn from [0, Π_max] reduce the
+// max per-step machine congestion to O(log(n+m)/loglog(n+m)).
+func T7(cfg Config) *Table {
+	t := &Table{
+		ID:         "T7",
+		Title:      "Random-delay congestion on chain pseudo-schedules",
+		PaperBound: "§4.1: with delays from [0,Π_max], congestion = O(log(n+m)/loglog(n+m)) whp",
+		Header:     []string{"n", "m", "chains", "Πmax", "cong (no delay)", "cong (delayed)", "log(n+m)/loglog(n+m)"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	type pt struct{ n, m, c int }
+	sweep := []pt{{12, 3, 4}, {24, 4, 6}, {48, 6, 8}, {96, 8, 12}}
+	if cfg.Quick {
+		sweep = sweep[:3]
+	}
+	for _, p := range sweep {
+		in := workload.Chains(workload.Config{Jobs: p.n, Machines: p.m, Seed: rng.Int63()}, p.c)
+		chains, err := in.Prec.Chains()
+		if err != nil {
+			continue
+		}
+		fs, err := core.SolveLP1(in, chains, 0.5)
+		if err != nil {
+			continue
+		}
+		ints, err := core.RoundLP(in, fs, 0.5)
+		if err != nil {
+			continue
+		}
+		pseudo := core.BuildPseudo(in, chains, ints.X)
+		before := pseudo.MaxCongestion()
+		maxLoad := pseudo.MaxLoad()
+		prng := rand.New(rand.NewSource(cfg.Seed))
+		_, after := pseudo.BestDelays(maxLoad, 64, prng)
+		lnm := stats.Log2(float64(p.n+p.m) + 1)
+		shape := lnm / math.Log2(lnm+2)
+		t.Rows = append(t.Rows, []string{
+			d(p.n), d(p.m), d(p.c), d(maxLoad), d(before), d(after), f2(shape),
+		})
+	}
+	t.Notes = "The delayed congestion should track the shape column (up to constants) while the undelayed one grows with the chain count."
+	return t
+}
+
+// windowCheck is used by tests: the chains pipeline's final prefix
+// must respect AccuMass-C condition (ii).
+func windowCheck(in *model.Instance, steps []sched.Assignment) error {
+	return sched.CheckMassWindows(in, steps, 0.5)
+}

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"math/rand"
+
+	"suu/internal/core"
+	"suu/internal/opt"
+	"suu/internal/sched"
+	"suu/internal/stats"
+	"suu/internal/workload"
+)
+
+// T11 measures the exact price of obliviousness on small instances:
+// expected makespans computed by full state-distribution propagation
+// (no Monte Carlo noise) for the optimal regimen, the adaptive greedy
+// (frozen as a regimen) and both oblivious constructions.
+func T11(cfg Config) *Table {
+	t := &Table{
+		ID:         "T11",
+		Title:      "Exact price of obliviousness (state-distribution evaluation, no sampling)",
+		PaperBound: "adaptive within O(log n) (Thm 3.3); oblivious within O(log² n)/O(log n·log min) (Thms 3.6/4.5)",
+		Header:     []string{"n", "m", "exact OPT", "adaptive", "comb-obl", "lp-obl (σ=1)", "obl/OPT"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 30))
+	sizes := [][2]int{{3, 2}, {4, 2}, {5, 3}, {6, 3}}
+	if cfg.Quick {
+		sizes = sizes[:3]
+	}
+	for _, nm := range sizes {
+		n, m := nm[0], nm[1]
+		var optV, adaV, combV, lpV []float64
+		for k := 0; k < cfg.trials(); k++ {
+			in := workload.Independent(workload.Config{Jobs: n, Machines: m, Seed: rng.Int63()})
+			_, topt, err := opt.OptimalRegimen(in)
+			if err != nil {
+				continue
+			}
+			reg, err := opt.GreedyRegimen(in, func(unf, elig []bool) sched.Assignment {
+				return core.MSMAlg(in, elig)
+			})
+			if err != nil {
+				continue
+			}
+			ada, err := opt.ExactRegimen(in, reg)
+			if err != nil {
+				continue
+			}
+			comb, err := core.SUUIOblivious(in, paramsWithSeed(cfg.Seed))
+			if err != nil {
+				continue
+			}
+			combE, res1, err := opt.ExactOblivious(in, comb.Schedule, 100000, 1e-10)
+			if err != nil || res1 > 1e-6 {
+				continue
+			}
+			par := paramsWithSeed(cfg.Seed)
+			par.ReplicationFactor = 1 // keep the exact horizon tractable
+			lpres, err := core.SUUIndependentLP(in, par)
+			if err != nil {
+				continue
+			}
+			lpE, res2, err := opt.ExactOblivious(in, lpres.Schedule, 100000, 1e-10)
+			if err != nil || res2 > 1e-6 {
+				continue
+			}
+			optV = append(optV, topt)
+			adaV = append(adaV, ada)
+			combV = append(combV, combE)
+			lpV = append(lpV, lpE)
+		}
+		if len(optV) == 0 {
+			continue
+		}
+		o, a, c, l := stats.Mean(optV), stats.Mean(adaV), stats.Mean(combV), stats.Mean(lpV)
+		best := c
+		if l < best {
+			best = l
+		}
+		t.Rows = append(t.Rows, []string{d(n), d(m), f2(o), f2(a), f2(c), f2(l), f2(best / o)})
+	}
+	t.Notes = "Exact expectations via the unfinished-set Markov chain; the lp-obl column uses σ=1 so the horizon stays tractable (A2 shows σ scales it linearly). obl/OPT is the better oblivious construction's exact ratio — the measurable price of scheduling without feedback."
+	return t
+}

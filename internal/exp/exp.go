@@ -1,0 +1,95 @@
+// Package exp contains the experiment drivers that regenerate every
+// table of EXPERIMENTS.md — the empirical validation of each theorem
+// of Lin & Rajaraman (SPAA 2007) — plus the ablations called out in
+// DESIGN.md. Each driver returns a Table; cmd/suu-bench renders them.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"suu/internal/model"
+	"suu/internal/opt"
+	"suu/internal/sched"
+	"suu/internal/sim"
+)
+
+// Config sizes the experiments.
+type Config struct {
+	// Quick shrinks sweeps and repetition counts (CI mode).
+	Quick bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// reps returns Monte Carlo repetitions for makespan estimates.
+func (c Config) reps() int {
+	if c.Quick {
+		return 60
+	}
+	return 300
+}
+
+// trials returns how many random instances per sweep point.
+func (c Config) trials() int {
+	if c.Quick {
+		return 3
+	}
+	return 8
+}
+
+// Table is one experiment's result in displayable form.
+type Table struct {
+	// ID is the experiment id from DESIGN.md (T1..T10, A1..A4).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// PaperBound states the theorem/bound being validated.
+	PaperBound string
+	Header     []string
+	Rows       [][]string
+	// Notes holds interpretation guidance appended below the table.
+	Notes string
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "*Paper bound:* %s\n\n", t.PaperBound)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	if t.Notes != "" {
+		b.WriteString("\n" + t.Notes + "\n")
+	}
+	return b.String()
+}
+
+// estimate returns the mean simulated makespan of pol on in.
+func estimate(in *model.Instance, pol sched.Policy, reps int, seed int64) float64 {
+	sum, incomplete := sim.EstimateParallel(in, pol, reps, 5_000_000, seed, 0)
+	if incomplete > 0 {
+		return -1
+	}
+	return sum.Mean
+}
+
+// exactOrNaN returns the exact optimum when the instance is small
+// enough, else NaN.
+func exactOpt(in *model.Instance) (float64, bool) {
+	if in.N > 8 || in.M > 3 {
+		return 0, false
+	}
+	_, v, err := opt.OptimalRegimen(in)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func d(x int) string      { return fmt.Sprintf("%d", x) }

@@ -1,0 +1,271 @@
+package exp
+
+import (
+	"math"
+	"math/rand"
+
+	"suu/internal/core"
+	"suu/internal/model"
+	"suu/internal/opt"
+	"suu/internal/sched"
+	"suu/internal/sim"
+	"suu/internal/stats"
+	"suu/internal/workload"
+)
+
+// T1 validates Theorem 3.2: MSM-ALG achieves at least 1/3 of the
+// brute-force MaxSumMass optimum.
+func T1(cfg Config) *Table {
+	t := &Table{
+		ID:         "T1",
+		Title:      "MSM-ALG approximation ratio vs. brute-force optimum",
+		PaperBound: "Theorem 3.2: ratio ≥ 1/3",
+		Header:     []string{"n", "m", "trials", "min ratio", "mean ratio"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, nm := range [][2]int{{3, 3}, {4, 4}, {5, 3}, {6, 2}, {4, 6}} {
+		n, m := nm[0], nm[1]
+		minR, sumR := 1.0, 0.0
+		trials := 10 * cfg.trials()
+		for k := 0; k < trials; k++ {
+			in := workload.Independent(workload.Config{Jobs: n, Machines: m, Seed: rng.Int63()})
+			active := make([]bool, n)
+			for j := range active {
+				active[j] = true
+			}
+			got := core.SumMass(in, core.MSMAlg(in, active))
+			_, best := core.BruteForceMSM(in, active)
+			r := got / best
+			if r < minR {
+				minR = r
+			}
+			sumR += r
+		}
+		t.Rows = append(t.Rows, []string{d(n), d(m), d(trials), f3(minR), f3(sumR / float64(trials))})
+	}
+	t.Notes = "Every observed ratio must be ≥ 1/3 ≈ 0.333; in practice the greedy sits far above the bound."
+	return t
+}
+
+// T2 validates Theorem 2.2: under the optimal regimen (expected
+// makespan T_OPT), every job accumulates mass ≥ 1/4 within 2·T_OPT
+// steps with probability ≥ 1/4.
+func T2(cfg Config) *Table {
+	t := &Table{
+		ID:         "T2",
+		Title:      "Mass accumulation within 2·T_OPT under the optimal schedule",
+		PaperBound: "Theorem 2.2: Pr[mass ≥ 1/4 by step 2T] ≥ 1/4 for every job",
+		Header:     []string{"n", "m", "T_OPT", "min_j Pr[mass ≥ 1/4]", "bound"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	for _, nm := range [][2]int{{3, 2}, {4, 2}, {5, 3}, {6, 2}} {
+		n, m := nm[0], nm[1]
+		in := workload.Independent(workload.Config{Jobs: n, Machines: m, Seed: rng.Int63()})
+		reg, topt, err := optRegimen(in)
+		if err != nil {
+			continue
+		}
+		horizon := int(math.Ceil(2 * topt))
+		fr := sim.MassWithinHorizon(in, reg, horizon, 40*cfg.reps(), 0.25, cfg.Seed)
+		minF := 1.0
+		for _, f := range fr {
+			if f < minF {
+				minF = f
+			}
+		}
+		t.Rows = append(t.Rows, []string{d(n), d(m), f2(topt), f3(minF), "0.250"})
+	}
+	t.Notes = "The theorem holds for any schedule; we instantiate it with the exactly-optimal regimen."
+	return t
+}
+
+// T3 validates Theorem 3.3: the adaptive greedy SUU-I-ALG stays within
+// an O(log n) factor of optimal as n grows.
+func T3(cfg Config) *Table {
+	t := &Table{
+		ID:         "T3",
+		Title:      "Adaptive SUU-I-ALG ratio vs. instance size (independent jobs)",
+		PaperBound: "Theorem 3.3: E[makespan] ≤ O(log n)·T_OPT",
+		Header:     []string{"n", "m", "baseline", "mean ratio", "ratio/log₂n"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	sizes := [][2]int{{4, 3}, {6, 3}, {8, 3}, {16, 6}, {32, 8}, {64, 8}}
+	if cfg.Quick {
+		sizes = sizes[:4]
+	}
+	for _, nm := range sizes {
+		n, m := nm[0], nm[1]
+		var ratios []float64
+		baseline := "combined LB"
+		for k := 0; k < cfg.trials(); k++ {
+			in := workload.Independent(workload.Config{Jobs: n, Machines: m, Seed: rng.Int63()})
+			// The adaptive greedy is stationary (its assignment depends
+			// only on the unfinished set), so evaluate it exactly when
+			// the state space permits; otherwise simulate.
+			mean := -1.0
+			if n <= 8 {
+				if reg, err := opt.GreedyRegimen(in, func(unf, elig []bool) sched.Assignment {
+					return core.MSMAlg(in, elig)
+				}); err == nil {
+					if v, err := opt.ExactRegimen(in, reg); err == nil && !math.IsInf(v, 1) {
+						mean = v
+					}
+				}
+			}
+			if mean < 0 {
+				mean = estimate(in, &core.AdaptivePolicy{In: in}, cfg.reps(), cfg.Seed)
+			}
+			if mean < 0 {
+				continue
+			}
+			lb, exact := exactOpt(in)
+			if exact {
+				baseline = "exact OPT"
+			} else {
+				jobs := seqJobs(n)
+				fs, err := core.SolveLP2(in, jobs, 0.5)
+				if err != nil {
+					continue
+				}
+				lb = core.CombinedLowerBound(in, fs.T)
+			}
+			if lb > 0 {
+				ratios = append(ratios, mean/lb)
+			}
+		}
+		if len(ratios) == 0 {
+			continue
+		}
+		mr := stats.Mean(ratios)
+		t.Rows = append(t.Rows, []string{d(n), d(m), baseline, f2(mr), f2(mr / stats.Log2(float64(n)+1))})
+	}
+	t.Notes = "Against the combined lower bound the reported ratio still inflates by the LB gap; the normalized column should stay roughly flat if the O(log n) shape holds."
+	return t
+}
+
+// T4 validates Lemma 3.5 / Theorem 3.6: the combinatorial oblivious
+// schedule SUU-I-OBL stays within O(log² n) of optimal.
+func T4(cfg Config) *Table {
+	t := &Table{
+		ID:         "T4",
+		Title:      "Combinatorial oblivious SUU-I-OBL ratio vs. instance size",
+		PaperBound: "Theorem 3.6: E[makespan] ≤ O(log² n)·T_OPT",
+		Header:     []string{"n", "m", "core len", "mean ratio", "ratio/log₂²n"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	sizes := [][2]int{{4, 3}, {8, 3}, {16, 6}, {32, 8}}
+	if cfg.Quick {
+		sizes = sizes[:3]
+	}
+	for _, nm := range sizes {
+		n, m := nm[0], nm[1]
+		var ratios []float64
+		coreLen := 0
+		for k := 0; k < cfg.trials(); k++ {
+			in := workload.Independent(workload.Config{Jobs: n, Machines: m, Seed: rng.Int63()})
+			res, err := core.SUUIOblivious(in, paramsWithSeed(cfg.Seed))
+			if err != nil {
+				continue
+			}
+			coreLen = res.CoreLength
+			mean := estimate(in, res.Schedule, cfg.reps(), cfg.Seed)
+			if mean < 0 {
+				continue
+			}
+			lb := lowerBound(in, n)
+			if lb > 0 {
+				ratios = append(ratios, mean/lb)
+			}
+		}
+		if len(ratios) == 0 {
+			continue
+		}
+		mr := stats.Mean(ratios)
+		l := stats.Log2(float64(n) + 1)
+		t.Rows = append(t.Rows, []string{d(n), d(m), d(coreLen), f2(mr), f2(mr / (l * l))})
+	}
+	return t
+}
+
+// T5 validates Theorem 4.5 and compares the LP-based oblivious
+// schedule against the combinatorial one.
+func T5(cfg Config) *Table {
+	t := &Table{
+		ID:         "T5",
+		Title:      "LP-based oblivious schedule (Thm 4.5) vs. combinatorial (Thm 3.6)",
+		PaperBound: "Theorem 4.5: E[makespan] ≤ O(log n · log min(n,m))·T_OPT",
+		Header:     []string{"n", "m", "LP T*", "lp-obl ratio", "comb-obl ratio", "lp/comb"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 4))
+	sizes := [][2]int{{4, 3}, {8, 4}, {16, 6}, {32, 8}}
+	if cfg.Quick {
+		sizes = sizes[:3]
+	}
+	for _, nm := range sizes {
+		n, m := nm[0], nm[1]
+		var lpR, combR []float64
+		tstar := 0.0
+		for k := 0; k < cfg.trials(); k++ {
+			in := workload.Independent(workload.Config{Jobs: n, Machines: m, Seed: rng.Int63()})
+			lres, err := core.SUUIndependentLP(in, paramsWithSeed(cfg.Seed))
+			if err != nil {
+				continue
+			}
+			tstar = lres.TStar
+			cres, err := core.SUUIOblivious(in, paramsWithSeed(cfg.Seed))
+			if err != nil {
+				continue
+			}
+			lb := lowerBound(in, n)
+			if lb <= 0 {
+				continue
+			}
+			if mean := estimate(in, lres.Schedule, cfg.reps(), cfg.Seed); mean > 0 {
+				lpR = append(lpR, mean/lb)
+			}
+			if mean := estimate(in, cres.Schedule, cfg.reps(), cfg.Seed); mean > 0 {
+				combR = append(combR, mean/lb)
+			}
+		}
+		if len(lpR) == 0 || len(combR) == 0 {
+			continue
+		}
+		a, b := stats.Mean(lpR), stats.Mean(combR)
+		t.Rows = append(t.Rows, []string{d(n), d(m), f2(tstar), f2(a), f2(b), f2(a / b)})
+	}
+	t.Notes = "The combinatorial schedule cycles its prefix (fast retries); the LP schedule pays the σ-replication up front. The theorems bound both; the comparison reports the practical trade."
+	return t
+}
+
+// helpers shared by the independent-jobs experiments.
+
+func seqJobs(n int) []int {
+	jobs := make([]int, n)
+	for j := range jobs {
+		jobs[j] = j
+	}
+	return jobs
+}
+
+func paramsWithSeed(seed int64) core.Params {
+	p := core.DefaultParams()
+	p.Seed = seed
+	return p
+}
+
+// lowerBound returns exact OPT for small instances, else the LP2/16
+// bound.
+func lowerBound(in *model.Instance, n int) float64 {
+	if v, ok := exactOpt(in); ok {
+		return v
+	}
+	fs, err := core.SolveLP2(in, seqJobs(n), 0.5)
+	if err != nil {
+		return -1
+	}
+	return core.CombinedLowerBound(in, fs.T)
+}
+
+func optRegimen(in *model.Instance) (*sched.Regimen, float64, error) {
+	return opt.OptimalRegimen(in)
+}

@@ -1,0 +1,360 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    c·x
+//	subject to  a_k·x (≤ | = | ≥) b_k   for each constraint k
+//	            x ≥ 0
+//
+// It is deliberately stdlib-only and sized for the LPs that arise in
+// the SUU algorithms ((LP1) and (LP2) of Lin & Rajaraman, SPAA 2007):
+// a few hundred to a few thousand variables and constraints. Dantzig
+// pricing is used by default with an automatic switch to Bland's rule
+// when the objective stalls, which guarantees termination.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is the relation of a constraint row.
+type Rel int
+
+const (
+	// LE is a ≤ constraint.
+	LE Rel = iota
+	// GE is a ≥ constraint.
+	GE
+	// EQ is an = constraint.
+	EQ
+)
+
+// Term is one coefficient of a constraint: Coef * x[Var].
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+type constraint struct {
+	terms []Term
+	rel   Rel
+	rhs   float64
+}
+
+// Problem is a linear program under construction. All variables are
+// implicitly nonnegative; encode x ≥ l by shifting and x ≤ u by an
+// explicit constraint.
+type Problem struct {
+	nvars int
+	c     []float64
+	cons  []constraint
+}
+
+// Solution holds an optimal solution.
+type Solution struct {
+	// X is the optimal assignment, length NumVars.
+	X []float64
+	// Objective is c·X.
+	Objective float64
+	// Iterations is the total number of simplex pivots performed.
+	Iterations int
+}
+
+// ErrInfeasible is returned when the constraint set has no solution.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective is unbounded below.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+const (
+	eps      = 1e-9
+	stallLim = 64 // pivots without objective progress before Bland's rule
+)
+
+// NewProblem returns a problem with nvars nonnegative variables and a
+// zero objective.
+func NewProblem(nvars int) *Problem {
+	if nvars <= 0 {
+		panic("lp: problem needs at least one variable")
+	}
+	return &Problem{nvars: nvars, c: make([]float64, nvars)}
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.nvars }
+
+// NumConstraints returns the number of constraint rows added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// SetObjectiveCoef sets the objective coefficient of variable v.
+func (p *Problem) SetObjectiveCoef(v int, coef float64) {
+	p.c[v] = coef
+}
+
+// AddConstraint appends the row Σ terms (rel) rhs. Terms may repeat a
+// variable; coefficients accumulate.
+func (p *Problem) AddConstraint(terms []Term, rel Rel, rhs float64) {
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= p.nvars {
+			panic(fmt.Sprintf("lp: constraint references variable %d of %d", t.Var, p.nvars))
+		}
+	}
+	cp := make([]Term, len(terms))
+	copy(cp, terms)
+	p.cons = append(p.cons, constraint{terms: cp, rel: rel, rhs: rhs})
+}
+
+// Solve runs two-phase simplex and returns an optimal solution,
+// ErrInfeasible, or ErrUnbounded.
+func (p *Problem) Solve() (*Solution, error) {
+	m := len(p.cons)
+	n := p.nvars
+
+	// Count auxiliary columns: one slack/surplus per inequality, one
+	// artificial per GE/EQ row (and per LE row with negative rhs after
+	// normalization — handled by normalizing the row sign first).
+	type rowSpec struct {
+		dense []float64
+		rhs   float64
+		rel   Rel
+	}
+	rows := make([]rowSpec, m)
+	for k, con := range p.cons {
+		dense := make([]float64, n)
+		for _, t := range con.terms {
+			dense[t.Var] += t.Coef
+		}
+		rhs := con.rhs
+		rel := con.rel
+		if rhs < 0 {
+			for i := range dense {
+				dense[i] = -dense[i]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[k] = rowSpec{dense: dense, rhs: rhs, rel: rel}
+	}
+
+	nSlack := 0
+	nArt := 0
+	for _, r := range rows {
+		if r.rel != EQ {
+			nSlack++
+		}
+		if r.rel != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	// Tableau: m rows of [total coefficients | rhs].
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	artCols := make([]bool, total)
+	sCol := n
+	aCol := n + nSlack
+	for k, r := range rows {
+		row := make([]float64, total+1)
+		copy(row, r.dense)
+		row[total] = r.rhs
+		switch r.rel {
+		case LE:
+			row[sCol] = 1
+			basis[k] = sCol
+			sCol++
+		case GE:
+			row[sCol] = -1
+			sCol++
+			row[aCol] = 1
+			artCols[aCol] = true
+			basis[k] = aCol
+			aCol++
+		case EQ:
+			row[aCol] = 1
+			artCols[aCol] = true
+			basis[k] = aCol
+			aCol++
+		}
+		t[k] = row
+	}
+
+	iters := 0
+
+	if nArt > 0 {
+		// Phase 1: minimize sum of artificials.
+		obj := make([]float64, total+1)
+		for j := 0; j < total; j++ {
+			if artCols[j] {
+				obj[j] = 1
+			}
+		}
+		// Price out the basic artificials.
+		for k, b := range basis {
+			if artCols[b] {
+				for j := 0; j <= total; j++ {
+					obj[j] -= t[k][j]
+				}
+			}
+		}
+		it, err := simplexLoop(t, obj, basis, total, nil)
+		iters += it
+		if err != nil {
+			// Phase 1 cannot be unbounded (objective bounded below by 0);
+			// treat any failure as internal.
+			return nil, err
+		}
+		if -obj[total] > 1e-7 {
+			return nil, ErrInfeasible
+		}
+		// Drive any remaining artificial variables out of the basis.
+		for k, b := range basis {
+			if !artCols[b] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < total; j++ {
+				if !artCols[j] && math.Abs(t[k][j]) > eps {
+					pivot(t, basis, k, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: keep artificial basic at value 0. Forbid
+				// it from ever re-entering by zeroing is unnecessary since
+				// artificial columns are excluded in phase 2 pricing.
+				_ = k
+			}
+		}
+	}
+
+	// Phase 2: original objective, artificial columns barred.
+	obj := make([]float64, total+1)
+	copy(obj, p.c)
+	for k, b := range basis {
+		if math.Abs(obj[b]) > eps {
+			coef := obj[b]
+			for j := 0; j <= total; j++ {
+				obj[j] -= coef * t[k][j]
+			}
+		}
+	}
+	barred := artCols
+	it, err := simplexLoop(t, obj, basis, total, barred)
+	iters += it
+	if err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for k, b := range basis {
+		if b < n {
+			x[b] = t[k][total]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < n; j++ {
+		objVal += p.c[j] * x[j]
+	}
+	return &Solution{X: x, Objective: objVal, Iterations: iters}, nil
+}
+
+// simplexLoop performs primal simplex pivots on tableau t with reduced
+// cost row obj until optimality. barred columns (may be nil) are never
+// chosen as entering variables.
+func simplexLoop(t [][]float64, obj []float64, basis []int, total int, barred []bool) (int, error) {
+	m := len(t)
+	iters := 0
+	stall := 0
+	lastObj := math.Inf(1)
+	for {
+		iters++
+		if iters > 200000 {
+			return iters, errors.New("lp: iteration limit exceeded")
+		}
+		bland := stall >= stallLim
+		// Entering column.
+		enter := -1
+		best := -eps
+		for j := 0; j < total; j++ {
+			if barred != nil && barred[j] {
+				continue
+			}
+			if obj[j] < -eps {
+				if bland {
+					enter = j
+					break
+				}
+				if obj[j] < best {
+					best = obj[j]
+					enter = j
+				}
+			}
+		}
+		if enter == -1 {
+			return iters, nil // optimal
+		}
+		// Ratio test (Bland tie-break on basis index for anti-cycling).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for k := 0; k < m; k++ {
+			a := t[k][enter]
+			if a > eps {
+				r := t[k][total] / a
+				if r < bestRatio-eps || (r < bestRatio+eps && (leave == -1 || basis[k] < basis[leave])) {
+					bestRatio = r
+					leave = k
+				}
+			}
+		}
+		if leave == -1 {
+			return iters, ErrUnbounded
+		}
+		pivot(t, basis, leave, enter, total)
+		// Update reduced costs.
+		coef := obj[enter]
+		if math.Abs(coef) > 0 {
+			for j := 0; j <= total; j++ {
+				obj[j] -= coef * t[leave][j]
+			}
+		}
+		if -obj[total] < lastObj-1e-12 {
+			lastObj = -obj[total]
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func pivot(t [][]float64, basis []int, leave, enter, total int) {
+	pr := t[leave]
+	pv := pr[enter]
+	inv := 1 / pv
+	for j := 0; j <= total; j++ {
+		pr[j] *= inv
+	}
+	pr[enter] = 1 // exact
+	for k := range t {
+		if k == leave {
+			continue
+		}
+		f := t[k][enter]
+		if f == 0 {
+			continue
+		}
+		row := t[k]
+		for j := 0; j <= total; j++ {
+			row[j] -= f * pr[j]
+		}
+		row[enter] = 0 // exact
+	}
+	basis[leave] = enter
+}

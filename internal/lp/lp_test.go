@@ -1,0 +1,229 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimple2DMin(t *testing.T) {
+	// min -x - y  s.t. x + y <= 4, x <= 2, y <= 3  -> x=2 (or 1), y=3 (opt -5... check)
+	// Optimum: x+y maximized = 4 with x<=2,y<=3 => obj=-4? x=1,y=3 gives 4; x=2,y=2 gives 4. obj=-4.
+	p := NewProblem(2)
+	p.SetObjectiveCoef(0, -1)
+	p.SetObjectiveCoef(1, -1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 4)
+	p.AddConstraint([]Term{{0, 1}}, LE, 2)
+	p.AddConstraint([]Term{{1, 1}}, LE, 3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, -4, 1e-7) {
+		t.Errorf("objective=%v, want -4", sol.Objective)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x + 2y  s.t. x + y = 10, x >= 3, y >= 2  -> x=8, y=2, obj=12.
+	p := NewProblem(2)
+	p.SetObjectiveCoef(0, 1)
+	p.SetObjectiveCoef(1, 2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 10)
+	p.AddConstraint([]Term{{0, 1}}, GE, 3)
+	p.AddConstraint([]Term{{1, 1}}, GE, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 12, 1e-7) || !approx(sol.X[0], 8, 1e-7) || !approx(sol.X[1], 2, 1e-7) {
+		t.Errorf("sol=%v obj=%v, want x=(8,2) obj=12", sol.X, sol.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]Term{{0, 1}}, LE, 1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 2)
+	if _, err := p.Solve(); err != ErrInfeasible {
+		t.Errorf("err=%v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjectiveCoef(0, -1)
+	p.AddConstraint([]Term{{1, 1}}, LE, 5)
+	if _, err := p.Solve(); err != ErrUnbounded {
+		t.Errorf("err=%v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x <= -3  ⇔  x >= 3; min x -> 3.
+	p := NewProblem(1)
+	p.SetObjectiveCoef(0, 1)
+	p.AddConstraint([]Term{{0, -1}}, LE, -3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[0], 3, 1e-7) {
+		t.Errorf("x=%v, want 3", sol.X[0])
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// Classic Beale-style degeneracy; solver must terminate.
+	p := NewProblem(4)
+	c := []float64{-0.75, 150, -0.02, 6}
+	for i, v := range c {
+		p.SetObjectiveCoef(i, v)
+	}
+	p.AddConstraint([]Term{{0, 0.25}, {1, -60}, {2, -0.04}, {3, 9}}, LE, 0)
+	p.AddConstraint([]Term{{0, 0.5}, {1, -90}, {2, -0.02}, {3, 3}}, LE, 0)
+	p.AddConstraint([]Term{{2, 1}}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, -0.05, 1e-6) {
+		t.Errorf("objective=%v, want -0.05", sol.Objective)
+	}
+}
+
+func TestRepeatedTermsAccumulate(t *testing.T) {
+	// x + x <= 4  ⇔ 2x <= 4; max x (min -x) -> 2.
+	p := NewProblem(1)
+	p.SetObjectiveCoef(0, -1)
+	p.AddConstraint([]Term{{0, 1}, {0, 1}}, LE, 4)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[0], 2, 1e-7) {
+		t.Errorf("x=%v, want 2", sol.X[0])
+	}
+}
+
+// feasibleRandomLP builds min c·x with constraints guaranteed feasible
+// at a known point x0, and checks that Solve returns a feasible point
+// with objective <= c·x0.
+func TestRandomFeasibleLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(10)
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = rng.Float64() * 5
+		}
+		p := NewProblem(n)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.Float64() * 4 // nonnegative ⇒ bounded below by 0
+			p.SetObjectiveCoef(i, c[i])
+		}
+		type row struct {
+			terms []Term
+			rel   Rel
+			rhs   float64
+		}
+		var rowsAdded []row
+		for k := 0; k < m; k++ {
+			var terms []Term
+			lhs := 0.0
+			for i := 0; i < n; i++ {
+				if rng.Float64() < 0.6 {
+					co := rng.Float64()*4 - 2
+					terms = append(terms, Term{i, co})
+					lhs += co * x0[i]
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			var rel Rel
+			var rhs float64
+			switch rng.Intn(3) {
+			case 0:
+				rel, rhs = LE, lhs+rng.Float64()
+			case 1:
+				rel, rhs = GE, lhs-rng.Float64()
+			default:
+				rel, rhs = EQ, lhs
+			}
+			p.AddConstraint(terms, rel, rhs)
+			rowsAdded = append(rowsAdded, row{terms, rel, rhs})
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v (LP is feasible at %v)", trial, err, x0)
+		}
+		objAt := func(x []float64) float64 {
+			s := 0.0
+			for i := range c {
+				s += c[i] * x[i]
+			}
+			return s
+		}
+		if sol.Objective > objAt(x0)+1e-6 {
+			t.Fatalf("trial %d: objective %v worse than known point %v", trial, sol.Objective, objAt(x0))
+		}
+		// Feasibility of the returned point.
+		for _, r := range rowsAdded {
+			lhs := 0.0
+			for _, tm := range r.terms {
+				lhs += tm.Coef * sol.X[tm.Var]
+			}
+			switch r.rel {
+			case LE:
+				if lhs > r.rhs+1e-6 {
+					t.Fatalf("trial %d: LE row violated (%v > %v)", trial, lhs, r.rhs)
+				}
+			case GE:
+				if lhs < r.rhs-1e-6 {
+					t.Fatalf("trial %d: GE row violated (%v < %v)", trial, lhs, r.rhs)
+				}
+			case EQ:
+				if math.Abs(lhs-r.rhs) > 1e-6 {
+					t.Fatalf("trial %d: EQ row violated (%v != %v)", trial, lhs, r.rhs)
+				}
+			}
+		}
+		for i, v := range sol.X {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: x[%d]=%v negative", trial, i, v)
+			}
+		}
+	}
+}
+
+func TestConstraintVarRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range variable")
+		}
+	}()
+	p := NewProblem(2)
+	p.AddConstraint([]Term{{5, 1}}, LE, 1)
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// Duplicated equality rows leave a basic artificial at zero after
+	// phase 1; the solver must still find the optimum.
+	p := NewProblem(2)
+	p.SetObjectiveCoef(0, 1)
+	p.SetObjectiveCoef(1, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 2, 1e-7) {
+		t.Errorf("objective=%v, want 2", sol.Objective)
+	}
+}

@@ -1,0 +1,122 @@
+// Package maxflow implements Dinic's maximum-flow algorithm on
+// integer-capacity networks. It is the rounding engine of Theorem 4.1
+// of Lin & Rajaraman (SPAA 2007): an integral maximum flow on the
+// job/machine network extracts integral assignments x̂_ij from the
+// fractional LP solution (integrality follows from Ford–Fulkerson).
+package maxflow
+
+import "fmt"
+
+// Graph is a flow network over vertices 0..n-1.
+type Graph struct {
+	n    int
+	head [][]int // adjacency: indices into edges
+	// edges are stored in pairs: edge e and its reverse e^1.
+	to  []int
+	cap []int64
+}
+
+// New returns an empty network with n vertices.
+func New(n int) *Graph {
+	if n <= 0 {
+		panic("maxflow: network needs at least one vertex")
+	}
+	return &Graph{n: n, head: make([][]int, n)}
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts a directed edge u->v with the given capacity and
+// returns its edge id, usable with Flow after a MaxFlow run.
+func (g *Graph) AddEdge(u, v int, capacity int64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if capacity < 0 {
+		panic("maxflow: negative capacity")
+	}
+	id := len(g.to)
+	g.to = append(g.to, v, u)
+	g.cap = append(g.cap, capacity, 0)
+	g.head[u] = append(g.head[u], id)
+	g.head[v] = append(g.head[v], id+1)
+	return id
+}
+
+// Flow returns the flow currently routed along edge id (after MaxFlow).
+func (g *Graph) Flow(id int) int64 {
+	return g.cap[id^1]
+}
+
+// MaxFlow computes the maximum s→t flow (Dinic's algorithm,
+// O(V²E) worst case, far faster on the unit-ish bipartite networks
+// used here). It may be called once per graph.
+func (g *Graph) MaxFlow(s, t int) int64 {
+	if s == t {
+		panic("maxflow: source equals sink")
+	}
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, s)
+		level[s] = 0
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, e := range g.head[u] {
+				if g.cap[e] > 0 && level[g.to[e]] == -1 {
+					level[g.to[e]] = level[u] + 1
+					queue = append(queue, g.to[e])
+				}
+			}
+		}
+		return level[t] != -1
+	}
+
+	var dfs func(u int, f int64) int64
+	dfs = func(u int, f int64) int64 {
+		if u == t {
+			return f
+		}
+		for ; iter[u] < len(g.head[u]); iter[u]++ {
+			e := g.head[u][iter[u]]
+			v := g.to[e]
+			if g.cap[e] <= 0 || level[v] != level[u]+1 {
+				continue
+			}
+			d := f
+			if g.cap[e] < d {
+				d = g.cap[e]
+			}
+			got := dfs(v, d)
+			if got > 0 {
+				g.cap[e] -= got
+				g.cap[e^1] += got
+				return got
+			}
+		}
+		return 0
+	}
+
+	const inf = int64(1) << 62
+	var flow int64
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(s, inf)
+			if f == 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}

@@ -1,0 +1,171 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplePath(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	if f := g.MaxFlow(0, 2); f != 3 {
+		t.Errorf("flow=%d, want 3", f)
+	}
+}
+
+func TestParallelPaths(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(2, 3, 2)
+	if f := g.MaxFlow(0, 3); f != 4 {
+		t.Errorf("flow=%d, want 4", f)
+	}
+}
+
+func TestClassicCLRS(t *testing.T) {
+	// CLRS figure 26.6 network; max flow 23.
+	g := New(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(4, 5, 4)
+	if f := g.MaxFlow(0, 5); f != 23 {
+		t.Errorf("flow=%d, want 23", f)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(2, 3, 10)
+	if f := g.MaxFlow(0, 3); f != 0 {
+		t.Errorf("flow=%d, want 0", f)
+	}
+}
+
+func TestEdgeFlowsConserveAndRespectCaps(t *testing.T) {
+	g := New(5)
+	ids := []int{
+		g.AddEdge(0, 1, 4),
+		g.AddEdge(0, 2, 3),
+		g.AddEdge(1, 3, 2),
+		g.AddEdge(2, 3, 5),
+		g.AddEdge(1, 2, 1),
+		g.AddEdge(3, 4, 6),
+	}
+	caps := []int64{4, 3, 2, 5, 1, 6}
+	total := g.MaxFlow(0, 4)
+	if total != 6 {
+		t.Fatalf("flow=%d, want 6", total)
+	}
+	// Flow on each edge within capacity and conservation at internal nodes.
+	net := make([]int64, 5)
+	from := []int{0, 0, 1, 2, 1, 3}
+	to := []int{1, 2, 3, 3, 2, 4}
+	for k, id := range ids {
+		f := g.Flow(id)
+		if f < 0 || f > caps[k] {
+			t.Errorf("edge %d flow %d outside [0,%d]", k, f, caps[k])
+		}
+		net[from[k]] -= f
+		net[to[k]] += f
+	}
+	for v := 1; v <= 3; v++ {
+		if net[v] != 0 {
+			t.Errorf("conservation violated at %d: %d", v, net[v])
+		}
+	}
+	if net[0] != -total || net[4] != total {
+		t.Errorf("source/sink imbalance: %v (total %d)", net, total)
+	}
+}
+
+// Reference Ford–Fulkerson (BFS augmenting paths) for cross-checking.
+func edmondsKarp(n int, edges [][3]int64, s, t int) int64 {
+	capm := make([][]int64, n)
+	for i := range capm {
+		capm[i] = make([]int64, n)
+	}
+	for _, e := range edges {
+		capm[e[0]][e[1]] += e[2]
+	}
+	var total int64
+	for {
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		q := []int{s}
+		for len(q) > 0 && parent[t] == -1 {
+			u := q[0]
+			q = q[1:]
+			for v := 0; v < n; v++ {
+				if parent[v] == -1 && capm[u][v] > 0 {
+					parent[v] = u
+					q = append(q, v)
+				}
+			}
+		}
+		if parent[t] == -1 {
+			return total
+		}
+		aug := int64(1) << 62
+		for v := t; v != s; v = parent[v] {
+			if capm[parent[v]][v] < aug {
+				aug = capm[parent[v]][v]
+			}
+		}
+		for v := t; v != s; v = parent[v] {
+			capm[parent[v]][v] -= aug
+			capm[v][parent[v]] += aug
+		}
+		total += aug
+	}
+}
+
+func TestAgainstEdmondsKarpRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(10)
+		m := rng.Intn(3 * n)
+		var edges [][3]int64
+		g := New(n)
+		for k := 0; k < m; k++ {
+			u := rng.Intn(n)
+			v := rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(rng.Intn(10))
+			g.AddEdge(u, v, c)
+			edges = append(edges, [3]int64{int64(u), int64(v), c})
+		}
+		want := edmondsKarp(n, edges, 0, n-1)
+		if got := g.MaxFlow(0, n-1); got != want {
+			t.Fatalf("trial %d: dinic=%d, edmonds-karp=%d", trial, got, want)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	check := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	check("out-of-range", func() { New(2).AddEdge(0, 5, 1) })
+	check("negative-cap", func() { New(2).AddEdge(0, 1, -1) })
+	check("s==t", func() { New(2).MaxFlow(1, 1) })
+}

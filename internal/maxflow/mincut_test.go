@@ -1,0 +1,68 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMaxFlowMinCut verifies strong duality on random graphs: after
+// MaxFlow, the set S of vertices reachable from the source in the
+// residual graph defines a cut whose original capacity equals the flow
+// value (max-flow = min-cut).
+func TestMaxFlowMinCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(12)
+		type edge struct {
+			u, v int
+			c    int64
+			id   int
+		}
+		var edges []edge
+		g := New(n)
+		for k := 0; k < 3*n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(rng.Intn(12))
+			id := g.AddEdge(u, v, c)
+			edges = append(edges, edge{u, v, c, id})
+		}
+		s, snk := 0, n-1
+		flow := g.MaxFlow(s, snk)
+
+		// Residual reachability: an edge has residual capacity iff its
+		// remaining cap > 0; reverse arcs have residual equal to the
+		// routed flow.
+		reach := make([]bool, n)
+		reach[s] = true
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range edges {
+				if e.u == u && !reach[e.v] && e.c-g.Flow(e.id) > 0 {
+					reach[e.v] = true
+					queue = append(queue, e.v)
+				}
+				if e.v == u && !reach[e.u] && g.Flow(e.id) > 0 {
+					reach[e.u] = true
+					queue = append(queue, e.u)
+				}
+			}
+		}
+		if reach[snk] {
+			t.Fatalf("trial %d: sink reachable in residual graph after max flow", trial)
+		}
+		var cut int64
+		for _, e := range edges {
+			if reach[e.u] && !reach[e.v] {
+				cut += e.c
+			}
+		}
+		if cut != flow {
+			t.Fatalf("trial %d: min cut %d != max flow %d", trial, cut, flow)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package model
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzInstanceJSON ensures arbitrary bytes never panic the decoder and
+// that everything it accepts validates.
+func FuzzInstanceJSON(f *testing.F) {
+	f.Add([]byte(`{"jobs":2,"machines":1,"p":[[0.5,0.5]],"edges":[[0,1]]}`))
+	f.Add([]byte(`{"jobs":1,"machines":1,"p":[[1]],"edges":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"jobs":-1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in := &Instance{}
+		if err := json.Unmarshal(data, in); err != nil {
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid instance: %v", err)
+		}
+	})
+}

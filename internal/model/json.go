@@ -1,0 +1,56 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"suu/internal/dag"
+)
+
+// instanceJSON is the on-disk representation used by the cmd tools.
+type instanceJSON struct {
+	Jobs     int         `json:"jobs"`
+	Machines int         `json:"machines"`
+	P        [][]float64 `json:"p"`     // [machine][job]
+	Edges    [][2]int    `json:"edges"` // precedence (before, after)
+}
+
+// MarshalJSON implements json.Marshaler.
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	var edges [][2]int
+	for u := 0; u < in.N; u++ {
+		for _, v := range in.Prec.Succs(u) {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return json.Marshal(instanceJSON{
+		Jobs:     in.N,
+		Machines: in.M,
+		P:        in.P,
+		Edges:    edges,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var raw instanceJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.Jobs <= 0 || raw.Machines <= 0 {
+		return fmt.Errorf("model: bad dimensions %dx%d", raw.Machines, raw.Jobs)
+	}
+	if len(raw.P) != raw.Machines {
+		return fmt.Errorf("model: p has %d rows, want %d", len(raw.P), raw.Machines)
+	}
+	in.N = raw.Jobs
+	in.M = raw.Machines
+	in.P = raw.P
+	in.Prec = dag.New(raw.Jobs)
+	for _, e := range raw.Edges {
+		if err := in.Prec.AddEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return in.Validate()
+}

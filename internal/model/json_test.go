@@ -1,0 +1,53 @@
+package model
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := New(3, 2)
+	in.P[0][0], in.P[0][1], in.P[0][2] = 0.5, 0.25, 0.125
+	in.P[1][0], in.P[1][1], in.P[1][2] = 0.1, 0.2, 0.3
+	in.Prec.MustEdge(0, 1)
+	in.Prec.MustEdge(1, 2)
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &Instance{}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 3 || out.M != 2 {
+		t.Fatalf("dims %dx%d", out.M, out.N)
+	}
+	for i := range in.P {
+		for j := range in.P[i] {
+			if out.P[i][j] != in.P[i][j] {
+				t.Errorf("P[%d][%d] mismatch", i, j)
+			}
+		}
+	}
+	if out.Prec.E() != 2 || out.Prec.Succs(0)[0] != 1 {
+		t.Error("edges lost")
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"cycle":        `{"jobs":2,"machines":1,"p":[[0.5,0.5]],"edges":[[0,1],[1,0]]}`,
+		"bad-dims":     `{"jobs":0,"machines":1,"p":[],"edges":[]}`,
+		"row-mismatch": `{"jobs":2,"machines":2,"p":[[0.5,0.5]],"edges":[]}`,
+		"bad-prob":     `{"jobs":1,"machines":1,"p":[[1.5]],"edges":[]}`,
+		"zero-job":     `{"jobs":2,"machines":1,"p":[[0.5,0.0]],"edges":[]}`,
+		"bad-edge":     `{"jobs":2,"machines":1,"p":[[0.5,0.5]],"edges":[[0,9]]}`,
+		"not-json":     `{`,
+	}
+	for name, raw := range cases {
+		out := &Instance{}
+		if err := json.Unmarshal([]byte(raw), out); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

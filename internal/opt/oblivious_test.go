@@ -1,0 +1,108 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"suu/internal/model"
+	"suu/internal/sched"
+	"suu/internal/sim"
+)
+
+func TestExactObliviousSingleJobGeometric(t *testing.T) {
+	in := model.New(1, 1)
+	in.P[0][0] = 0.5
+	o := &sched.Oblivious{M: 1, Steps: []sched.Assignment{{0}}} // cycles
+	v, residual, err := ExactOblivious(in, o, 200, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if residual > 1e-9 {
+		t.Fatalf("residual %v", residual)
+	}
+	if math.Abs(v-2) > 1e-6 {
+		t.Errorf("E=%v, want 2", v)
+	}
+}
+
+func TestExactObliviousMatchesExactRegimenOnStationary(t *testing.T) {
+	// For a stationary assignment, ExactOblivious must agree with
+	// ExactRegimen.
+	in := model.New(2, 2)
+	in.P[0][0], in.P[0][1] = 0.6, 0.1
+	in.P[1][0], in.P[1][1] = 0.2, 0.7
+	a := sched.Assignment{0, 1}
+	o := &sched.Oblivious{M: 2, Steps: []sched.Assignment{a}}
+	reg := sched.NewRegimen(2, 2)
+	for s := uint64(1); s < 4; s++ {
+		reg.F[s] = a
+	}
+	want, err := ExactRegimen(in, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, residual, err := ExactOblivious(in, o, 2000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if residual > 1e-9 {
+		t.Fatalf("residual %v", residual)
+	}
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("oblivious exact %v != regimen exact %v", got, want)
+	}
+}
+
+func TestExactObliviousAgainstMonteCarlo(t *testing.T) {
+	in := model.New(3, 2)
+	in.P[0][0], in.P[0][1], in.P[0][2] = 0.5, 0.3, 0.2
+	in.P[1][0], in.P[1][1], in.P[1][2] = 0.1, 0.6, 0.4
+	in.Prec.MustEdge(0, 2)
+	o := &sched.Oblivious{
+		M:     2,
+		Steps: []sched.Assignment{{0, 1}, {0, 2}, {2, 2}},
+		Tail:  &sched.TopoRoundRobin{M: 2, Order: []int{0, 1, 2}},
+	}
+	exact, residual, err := ExactOblivious(in, o, 5000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if residual > 1e-9 {
+		t.Fatalf("residual %v", residual)
+	}
+	sum, incomplete := sim.Estimate(in, o, 8000, 100000, 3)
+	if incomplete != 0 {
+		t.Fatal("incomplete runs")
+	}
+	if math.Abs(sum.Mean-exact) > 4*sum.HalfWidth95+0.05 {
+		t.Errorf("Monte Carlo %v vs exact %v (hw %v)", sum.Mean, exact, sum.HalfWidth95)
+	}
+}
+
+func TestExactObliviousHorizonResidual(t *testing.T) {
+	in := model.New(1, 1)
+	in.P[0][0] = 0.5
+	o := &sched.Oblivious{M: 1, Steps: []sched.Assignment{{0}}}
+	v, residual, err := ExactOblivious(in, o, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(residual-0.5) > 1e-12 {
+		t.Errorf("residual=%v, want 0.5", residual)
+	}
+	// Expected = 0.5·1 (finishing at step 1) + 0.5·1 (horizon floor).
+	if math.Abs(v-1) > 1e-12 {
+		t.Errorf("v=%v, want 1", v)
+	}
+}
+
+func TestExactObliviousTooLarge(t *testing.T) {
+	in := model.New(MaxJobs+1, 1)
+	for j := range in.P[0] {
+		in.P[0][j] = 0.5
+	}
+	o := &sched.Oblivious{M: 1, Steps: []sched.Assignment{{0}}}
+	if _, _, err := ExactOblivious(in, o, 10, 0); err != ErrTooLarge {
+		t.Errorf("err=%v", err)
+	}
+}

@@ -1,0 +1,277 @@
+// Package opt computes exact expected makespans for small SUU
+// instances: the exact value of a given regimen, and the optimal
+// regimen itself via dynamic programming over the lattice of
+// unfinished-job states — the approach Malewicz (SPAA 2005) showed to
+// be polynomial for constant width and machine count, and which this
+// reproduction uses as ground truth (T_OPT) in the experiments.
+//
+// States are bitmasks of unfinished jobs. Only "closed" states (where
+// every successor of an unfinished job is unfinished) are reachable.
+// Transitions remove a subset of the eligible jobs, so values are
+// computed in increasing order of popcount, resolving the self-loop in
+// closed form: E[S] = (1 + Σ_{∅≠T⊆E} P(T)·E[S\T]) / (1 − P(∅)).
+package opt
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+
+	"suu/internal/model"
+	"suu/internal/sched"
+)
+
+// Limits guard the exponential enumeration.
+const (
+	// MaxJobs bounds n for exact computations (2^n states).
+	MaxJobs = 16
+	// MaxAssignmentsPerState bounds k^m when searching the optimal
+	// assignment of one state.
+	MaxAssignmentsPerState = 1 << 22
+)
+
+// ErrTooLarge is returned when an instance exceeds the exact-solver
+// limits.
+var ErrTooLarge = errors.New("opt: instance too large for exact computation")
+
+// closedStates enumerates all reachable unfinished-set masks: S is
+// closed iff for every j ∉ S, all predecessors of j are also ∉ S —
+// equivalently, j ∈ S implies every successor of j is in S.
+func closedStates(in *model.Instance) []uint64 {
+	n := in.N
+	var states []uint64
+	for s := uint64(0); s < 1<<uint(n); s++ {
+		ok := true
+		for j := 0; j < n && ok; j++ {
+			if s&(1<<uint(j)) == 0 {
+				continue
+			}
+			for _, succ := range in.Prec.Succs(j) {
+				if s&(1<<uint(succ)) == 0 {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			states = append(states, s)
+		}
+	}
+	return states
+}
+
+// eligibleOf returns the eligible jobs of state s: unfinished jobs all
+// of whose predecessors are finished.
+func eligibleOf(in *model.Instance, s uint64) []int {
+	var el []int
+	for j := 0; j < in.N; j++ {
+		if s&(1<<uint(j)) == 0 {
+			continue
+		}
+		ok := true
+		for _, p := range in.Prec.Preds(j) {
+			if s&(1<<uint(p)) != 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			el = append(el, j)
+		}
+	}
+	return el
+}
+
+// stateValue computes E[S] for one state given the per-eligible-job
+// success probabilities q and the values of all strictly smaller
+// states in E. Returns +Inf when no progress is possible.
+func stateValue(s uint64, el []int, q []float64, value map[uint64]float64) float64 {
+	k := len(el)
+	// Enumerate subsets T of eligible jobs; accumulate P(T)·E[S\T].
+	// P(∅) handled separately for the closed form.
+	pNone := 1.0
+	for _, qj := range q {
+		pNone *= 1 - qj
+	}
+	if pNone >= 1-1e-15 {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for t := 1; t < 1<<uint(k); t++ {
+		pT := 1.0
+		mask := uint64(0)
+		for b := 0; b < k; b++ {
+			if t&(1<<uint(b)) != 0 {
+				pT *= q[b]
+				mask |= 1 << uint(el[b])
+			} else {
+				pT *= 1 - q[b]
+			}
+		}
+		if pT == 0 {
+			continue
+		}
+		sum += pT * value[s&^mask]
+	}
+	return (1 + sum) / (1 - pNone)
+}
+
+// successProbs computes, for assignment a, the completion probability
+// of each eligible job el[b] (machines assigned to ineligible jobs are
+// treated as idle, matching the executor).
+func successProbs(in *model.Instance, a sched.Assignment, el []int) []float64 {
+	pos := make(map[int]int, len(el))
+	for b, j := range el {
+		pos[j] = b
+	}
+	fail := make([]float64, len(el))
+	for b := range fail {
+		fail[b] = 1
+	}
+	for i, j := range a {
+		if j == sched.Idle {
+			continue
+		}
+		if b, ok := pos[j]; ok {
+			fail[b] *= 1 - in.P[i][j]
+		}
+	}
+	q := make([]float64, len(el))
+	for b := range q {
+		q[b] = 1 - fail[b]
+	}
+	return q
+}
+
+// ExactRegimen computes the exact expected makespan of regimen r from
+// the all-unfinished start state. Returns +Inf if some reachable state
+// makes no progress under r.
+func ExactRegimen(in *model.Instance, r *sched.Regimen) (float64, error) {
+	if in.N > MaxJobs {
+		return 0, ErrTooLarge
+	}
+	states := closedStates(in)
+	value := map[uint64]float64{0: 0}
+	unfinished := make([]bool, in.N)
+	for _, s := range states {
+		if s == 0 {
+			continue
+		}
+		el := eligibleOf(in, s)
+		for j := 0; j < in.N; j++ {
+			unfinished[j] = s&(1<<uint(j)) != 0
+		}
+		a := r.Assign(&sched.State{Unfinished: unfinished})
+		q := successProbs(in, a, el)
+		value[s] = stateValue(s, el, q, value)
+	}
+	return value[(1<<uint(in.N))-1], nil
+}
+
+// OptimalRegimen computes the optimal regimen and its exact expected
+// makespan T_OPT by exhaustive minimization over assignment functions
+// per state. Machines are restricted to eligible jobs (an optimal
+// regimen never benefits from assigning a machine to an ineligible
+// job, whose completion cannot occur).
+func OptimalRegimen(in *model.Instance) (*sched.Regimen, float64, error) {
+	if in.N > MaxJobs {
+		return nil, 0, ErrTooLarge
+	}
+	states := closedStates(in)
+	value := map[uint64]float64{0: 0}
+	reg := sched.NewRegimen(in.N, in.M)
+
+	for _, s := range states {
+		if s == 0 {
+			continue
+		}
+		el := eligibleOf(in, s)
+		k := len(el)
+		total := 1
+		for i := 0; i < in.M; i++ {
+			total *= k
+			if total > MaxAssignmentsPerState {
+				return nil, 0, ErrTooLarge
+			}
+		}
+		bestVal := math.Inf(1)
+		var bestAssign sched.Assignment
+		a := make(sched.Assignment, in.M)
+		fail := make([]float64, k)
+		// Enumerate all k^m assignments via mixed-radix counting.
+		idx := make([]int, in.M)
+		for {
+			for b := range fail {
+				fail[b] = 1
+			}
+			for i := 0; i < in.M; i++ {
+				a[i] = el[idx[i]]
+				fail[idx[i]] *= 1 - in.P[i][el[idx[i]]]
+			}
+			q := make([]float64, k)
+			for b := range q {
+				q[b] = 1 - fail[b]
+			}
+			v := stateValue(s, el, q, value)
+			if v < bestVal {
+				bestVal = v
+				bestAssign = a.Clone()
+			}
+			// Increment mixed-radix counter.
+			c := 0
+			for c < in.M {
+				idx[c]++
+				if idx[c] < k {
+					break
+				}
+				idx[c] = 0
+				c++
+			}
+			if c == in.M {
+				break
+			}
+		}
+		value[s] = bestVal
+		reg.F[s] = bestAssign
+	}
+	full := uint64(1)<<uint(in.N) - 1
+	return reg, value[full], nil
+}
+
+// GreedyRegimen builds the stationary policy that, in every state,
+// runs MSM-style greedy matching supplied by assign; it is a helper to
+// freeze an adaptive policy into a regimen for exact evaluation.
+func GreedyRegimen(in *model.Instance, assign func(unfinished, eligible []bool) sched.Assignment) (*sched.Regimen, error) {
+	if in.N > MaxJobs {
+		return nil, ErrTooLarge
+	}
+	reg := sched.NewRegimen(in.N, in.M)
+	unf := make([]bool, in.N)
+	elig := make([]bool, in.N)
+	for _, s := range closedStates(in) {
+		if s == 0 {
+			continue
+		}
+		for j := 0; j < in.N; j++ {
+			unf[j] = s&(1<<uint(j)) != 0
+			elig[j] = false
+		}
+		for _, j := range eligibleOf(in, s) {
+			elig[j] = true
+		}
+		reg.F[s] = assign(append([]bool(nil), unf...), append([]bool(nil), elig...))
+	}
+	return reg, nil
+}
+
+// StateCount returns the number of reachable (closed) states — a
+// difficulty measure reported by the experiment harness.
+func StateCount(in *model.Instance) (int, error) {
+	if in.N > MaxJobs {
+		return 0, ErrTooLarge
+	}
+	return len(closedStates(in)), nil
+}
+
+// Popcount of uint64, exported for tests of the state enumeration.
+func popcount(x uint64) int { return bits.OnesCount64(x) }

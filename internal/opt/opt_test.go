@@ -1,0 +1,223 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"suu/internal/model"
+	"suu/internal/sched"
+)
+
+// singleJob returns one job, one machine with probability p.
+func singleJob(p float64) *model.Instance {
+	in := model.New(1, 1)
+	in.P[0][0] = p
+	return in
+}
+
+func TestSingleJobGeometric(t *testing.T) {
+	// One job, success p each step: E[makespan] = 1/p.
+	for _, p := range []float64{1.0, 0.5, 0.25, 0.1} {
+		in := singleJob(p)
+		_, v, err := OptimalRegimen(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-1/p) > 1e-9 {
+			t.Errorf("p=%v: T_OPT=%v, want %v", p, v, 1/p)
+		}
+	}
+}
+
+func TestTwoIndependentJobsTwoMachines(t *testing.T) {
+	// Two machines, each perfect on its own job: optimal = 1 step.
+	in := model.New(2, 2)
+	in.P[0][0], in.P[1][1] = 1, 1
+	in.P[0][1], in.P[1][0] = 0, 0
+	_, v, err := OptimalRegimen(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-9 {
+		t.Errorf("T_OPT=%v, want 1", v)
+	}
+}
+
+func TestChainForcesSequential(t *testing.T) {
+	// 0 ≺ 1, both deterministic on the single machine: T_OPT = 2.
+	in := model.New(2, 1)
+	in.P[0][0], in.P[0][1] = 1, 1
+	in.Prec.MustEdge(0, 1)
+	_, v, err := OptimalRegimen(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-2) > 1e-9 {
+		t.Errorf("T_OPT=%v, want 2", v)
+	}
+}
+
+func TestTwoJobsOneMachineHalf(t *testing.T) {
+	// One machine, p=1/2 on both independent jobs. The machine works on
+	// one job until done, then the other: E = 2 + 2 = 4.
+	in := model.New(2, 1)
+	in.P[0][0], in.P[0][1] = 0.5, 0.5
+	_, v, err := OptimalRegimen(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-4) > 1e-9 {
+		t.Errorf("T_OPT=%v, want 4", v)
+	}
+}
+
+func TestExactRegimenMatchesOptimalPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(3)
+		m := 1 + rng.Intn(2)
+		in := model.New(n, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				in.P[i][j] = 0.1 + 0.9*rng.Float64()
+			}
+		}
+		if rng.Intn(2) == 0 && n >= 2 {
+			in.Prec.MustEdge(0, 1)
+		}
+		reg, v, err := OptimalRegimen(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := ExactRegimen(in, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-v2) > 1e-9 {
+			t.Errorf("trial %d: OptimalRegimen value %v != ExactRegimen %v", trial, v, v2)
+		}
+	}
+}
+
+func TestOptimalIsLowerBoundOnArbitraryRegimen(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(3)
+		m := 1 + rng.Intn(2)
+		in := model.New(n, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				in.P[i][j] = 0.05 + 0.95*rng.Float64()
+			}
+		}
+		_, opt, err := OptimalRegimen(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Arbitrary regimen: every machine on the lowest unfinished job.
+		reg := sched.NewRegimen(n, m)
+		for s := uint64(1); s < 1<<uint(n); s++ {
+			lowest := -1
+			for j := 0; j < n; j++ {
+				if s&(1<<uint(j)) != 0 {
+					lowest = j
+					break
+				}
+			}
+			a := make(sched.Assignment, m)
+			for i := range a {
+				a[i] = lowest
+			}
+			reg.F[s] = a
+		}
+		v, err := ExactRegimen(in, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < opt-1e-9 {
+			t.Errorf("trial %d: regimen %v beats optimal %v", trial, v, opt)
+		}
+	}
+}
+
+func TestExactRegimenStuckIsInfinite(t *testing.T) {
+	in := singleJob(0.5)
+	reg := sched.NewRegimen(1, 1)
+	reg.F[1] = sched.Assignment{sched.Idle}
+	v, err := ExactRegimen(in, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(v, 1) {
+		t.Errorf("stuck regimen value=%v, want +Inf", v)
+	}
+}
+
+func TestClosedStatesRespectPrecedence(t *testing.T) {
+	in := model.New(3, 1)
+	in.P[0][0], in.P[0][1], in.P[0][2] = 1, 1, 1
+	in.Prec.MustEdge(0, 1)
+	in.Prec.MustEdge(1, 2)
+	states := closedStates(in)
+	// Valid unfinished sets for a chain 0≺1≺2: {}, {2}, {1,2}, {0,1,2}.
+	if len(states) != 4 {
+		t.Fatalf("got %d closed states, want 4: %v", len(states), states)
+	}
+	cnt, err := StateCount(in)
+	if err != nil || cnt != 4 {
+		t.Errorf("StateCount=%d err=%v", cnt, err)
+	}
+}
+
+func TestEligibleOf(t *testing.T) {
+	in := model.New(3, 1)
+	in.P[0][0], in.P[0][1], in.P[0][2] = 1, 1, 1
+	in.Prec.MustEdge(0, 1)
+	el := eligibleOf(in, 0b111)
+	if len(el) != 2 || el[0] != 0 || el[1] != 2 {
+		t.Errorf("eligible=%v, want [0 2]", el)
+	}
+	el = eligibleOf(in, 0b110)
+	if len(el) != 2 || el[0] != 1 || el[1] != 2 {
+		t.Errorf("eligible=%v, want [1 2]", el)
+	}
+}
+
+func TestTooLargeGuard(t *testing.T) {
+	in := model.New(MaxJobs+1, 1)
+	for j := 0; j <= MaxJobs; j++ {
+		in.P[0][j] = 1
+	}
+	if _, _, err := OptimalRegimen(in); err != ErrTooLarge {
+		t.Errorf("err=%v, want ErrTooLarge", err)
+	}
+	if _, err := ExactRegimen(in, sched.NewRegimen(1, 1)); err != ErrTooLarge {
+		t.Errorf("err=%v, want ErrTooLarge", err)
+	}
+}
+
+func TestGreedyRegimenFreezing(t *testing.T) {
+	in := model.New(2, 1)
+	in.P[0][0], in.P[0][1] = 0.9, 0.8
+	reg, err := GreedyRegimen(in, func(unf, elig []bool) sched.Assignment {
+		for j, e := range elig {
+			if e {
+				return sched.Assignment{j}
+			}
+		}
+		return sched.Assignment{sched.Idle}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ExactRegimen(in, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lowest-first: finish 0 (E=1/.9) then 1 (E=1/.8).
+	want := 1/0.9 + 1/0.8
+	if math.Abs(v-want) > 1e-9 {
+		t.Errorf("value=%v, want %v", v, want)
+	}
+}

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"suu/internal/model"
+)
+
+func randomObl(rng *rand.Rand, n, m, steps int) *Oblivious {
+	o := &Oblivious{M: m}
+	for t := 0; t < steps; t++ {
+		a := NewIdle(m)
+		for i := range a {
+			if rng.Intn(3) > 0 {
+				a[i] = rng.Intn(n)
+			}
+		}
+		o.Steps = append(o.Steps, a)
+	}
+	return o
+}
+
+// Property: replication multiplies per-job mass by σ exactly.
+func TestReplicateMassLinear(t *testing.T) {
+	prop := func(seed int64, sRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(5), 1+rng.Intn(4)
+		in := model.New(n, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				in.P[i][j] = rng.Float64()
+			}
+		}
+		o := randomObl(rng, n, m, 1+rng.Intn(8))
+		sigma := 1 + int(sRaw)%5
+		base := MassPerJob(in, o.Steps)
+		repl := MassPerJob(in, o.Replicate(sigma).Steps)
+		for j := range base {
+			if diff := repl[j] - float64(sigma)*base[j]; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Concat preserves per-job mass additively and At() agrees
+// with the parts.
+func TestConcatProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(4), 1+rng.Intn(3)
+		in := model.New(n, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				in.P[i][j] = rng.Float64()
+			}
+		}
+		a := randomObl(rng, n, m, 1+rng.Intn(5))
+		b := randomObl(rng, n, m, 1+rng.Intn(5))
+		c := Concat(a, b)
+		if c.Len() != a.Len()+b.Len() {
+			return false
+		}
+		ma := MassPerJob(in, a.Steps)
+		mb := MassPerJob(in, b.Steps)
+		mc := MassPerJob(in, c.Steps)
+		for j := range mc {
+			if diff := mc[j] - ma[j] - mb[j]; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		for t := 0; t < a.Len(); t++ {
+			for i := 0; i < m; i++ {
+				if c.At(t)[i] != a.At(t)[i] {
+					return false
+				}
+			}
+		}
+		for t := 0; t < b.Len(); t++ {
+			for i := 0; i < m; i++ {
+				if c.At(a.Len() + t)[i] != b.Steps[t][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: delays never change total load or per-job mass; they can
+// only move congestion around; flatten preserves assignment multiset.
+func TestDelayFlattenInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(4), 1+rng.Intn(3)
+		in := model.New(n, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				in.P[i][j] = rng.Float64()
+			}
+		}
+		p := &Pseudo{M: m}
+		tracks := 1 + rng.Intn(4)
+		for k := 0; k < tracks; k++ {
+			tr := ChainTrack{}
+			for t := 0; t < 1+rng.Intn(5); t++ {
+				a := NewIdle(m)
+				for i := range a {
+					if rng.Intn(2) == 0 {
+						a[i] = rng.Intn(n)
+					}
+				}
+				tr.Steps = append(tr.Steps, a)
+			}
+			p.Tracks = append(p.Tracks, tr)
+		}
+		delays := make([]int, tracks)
+		for k := range delays {
+			delays[k] = rng.Intn(6)
+		}
+		d := p.WithDelays(delays)
+		m1 := MassPerJobPseudo(p, in.P, n)
+		m2 := MassPerJobPseudo(d, in.P, n)
+		for j := range m1 {
+			if diff := m1[j] - m2[j]; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		if loadSum(p) != loadSum(d) {
+			return false
+		}
+		flat := d.Flatten()
+		m3 := MassPerJob(in, flat.Steps)
+		for j := range m1 {
+			if diff := m1[j] - m3[j]; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		// Flatten output never double-books a machine (by type), and its
+		// length is at most Len·MaxCongestion and at least Len.
+		if flat.Len() < d.Len() || flat.Len() > d.Len()*max1(d.MaxCongestion()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func loadSum(p *Pseudo) int {
+	s := 0
+	for _, l := range p.Load() {
+		s += l
+	}
+	return s
+}
+
+func max1(x int) int {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+// Property: BestDelays never returns congestion worse than zero-delay.
+func TestBestDelaysNeverWorse(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(3)
+		p := &Pseudo{M: m}
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			tr := ChainTrack{}
+			for t := 0; t < 1+rng.Intn(4); t++ {
+				a := NewIdle(m)
+				for i := range a {
+					if rng.Intn(2) == 0 {
+						a[i] = 0
+					}
+				}
+				tr.Steps = append(tr.Steps, a)
+			}
+			p.Tracks = append(p.Tracks, tr)
+		}
+		zero := p.MaxCongestion()
+		_, cong := p.BestDelays(4, 16, rng)
+		return cong <= zero
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,290 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ChainTrack is the schedule of a single precedence chain inside a
+// pseudo-schedule: Steps[t][i] is the job of this chain that machine i
+// works on at step t, or Idle. Within a track a machine serves at most
+// one job per step; congestion arises only across tracks.
+type ChainTrack struct {
+	Steps []Assignment
+}
+
+// Pseudo is a pseudo-schedule (Definition 4.1): the union of its chain
+// tracks. The union may assign one machine to several jobs in a step,
+// which is what the random-delay + flattening conversion repairs.
+type Pseudo struct {
+	M      int
+	Tracks []ChainTrack
+}
+
+// Len returns the number of steps of the longest track.
+func (p *Pseudo) Len() int {
+	max := 0
+	for _, tr := range p.Tracks {
+		if len(tr.Steps) > max {
+			max = len(tr.Steps)
+		}
+	}
+	return max
+}
+
+// Load returns the load of each machine — the total number of
+// (step, job) units scheduled on it across all tracks (Definition 4.2).
+func (p *Pseudo) Load() []int {
+	load := make([]int, p.M)
+	for _, tr := range p.Tracks {
+		for _, a := range tr.Steps {
+			for i, j := range a {
+				if j != Idle {
+					load[i]++
+				}
+			}
+		}
+	}
+	return load
+}
+
+// MaxLoad returns the maximum machine load (Π_max in the paper).
+func (p *Pseudo) MaxLoad() int {
+	max := 0
+	for _, l := range p.Load() {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// MaxCongestion returns the largest number of jobs assigned to any
+// single machine in any single step.
+func (p *Pseudo) MaxCongestion() int {
+	return p.congestionWithDelays(nil)
+}
+
+// congestionWithDelays computes max congestion when track k starts
+// delays[k] steps late (nil = no delays).
+func (p *Pseudo) congestionWithDelays(delays []int) int {
+	length := p.Len()
+	for k := range p.Tracks {
+		d := 0
+		if delays != nil {
+			d = delays[k]
+		}
+		if l := len(p.Tracks[k].Steps) + d; l > length {
+			length = l
+		}
+	}
+	if length == 0 {
+		return 0
+	}
+	counts := make([]int, length*p.M)
+	max := 0
+	for k, tr := range p.Tracks {
+		d := 0
+		if delays != nil {
+			d = delays[k]
+		}
+		for t, a := range tr.Steps {
+			for i, j := range a {
+				if j == Idle {
+					continue
+				}
+				idx := (t+d)*p.M + i
+				counts[idx]++
+				if counts[idx] > max {
+					max = counts[idx]
+				}
+			}
+		}
+	}
+	return max
+}
+
+// WithDelays returns a new pseudo-schedule in which track k is shifted
+// to start delays[k] steps later (the random-delay technique of
+// Leighton–Maggs–Rao / Shmoys–Stein–Wein used in Section 4.1).
+func (p *Pseudo) WithDelays(delays []int) *Pseudo {
+	if len(delays) != len(p.Tracks) {
+		panic("sched: delay vector length mismatch")
+	}
+	out := &Pseudo{M: p.M, Tracks: make([]ChainTrack, len(p.Tracks))}
+	for k, tr := range p.Tracks {
+		d := delays[k]
+		if d < 0 {
+			panic("sched: negative delay")
+		}
+		steps := make([]Assignment, d+len(tr.Steps))
+		for t := 0; t < d; t++ {
+			steps[t] = NewIdle(p.M)
+		}
+		for t, a := range tr.Steps {
+			steps[d+t] = a.Clone()
+		}
+		out.Tracks[k] = ChainTrack{Steps: steps}
+	}
+	return out
+}
+
+// BestDelays samples `tries` delay vectors uniformly from
+// [0, maxDelay] per track and returns the vector achieving the lowest
+// maximum congestion, together with that congestion. This is the
+// Las-Vegas substitute for the derandomized delay selection of
+// [22,25]: the paper's own randomized analysis shows a uniformly
+// random vector meets the O(log(n+m)/loglog(n+m)) congestion bound
+// with high probability, so a handful of samples suffices; we keep the
+// best seen, which can only be better. tries must be >= 1.
+func (p *Pseudo) BestDelays(maxDelay, tries int, rng *rand.Rand) ([]int, int) {
+	if tries < 1 {
+		panic("sched: tries must be >= 1")
+	}
+	if maxDelay < 0 {
+		panic("sched: negative maxDelay")
+	}
+	sum := func(xs []int) int {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	best := make([]int, len(p.Tracks))
+	bestCong := p.congestionWithDelays(best) // zero-delay candidate
+	bestSum := 0
+	cand := make([]int, len(p.Tracks))
+	for trial := 0; trial < tries; trial++ {
+		for k := range cand {
+			cand[k] = rng.Intn(maxDelay + 1)
+		}
+		// Only relative offsets matter for congestion, so normalize the
+		// candidate by its minimum before comparing lengths.
+		min := cand[0]
+		for _, x := range cand {
+			if x < min {
+				min = x
+			}
+		}
+		for k := range cand {
+			cand[k] -= min
+		}
+		c := p.congestionWithDelays(cand)
+		if c < bestCong || (c == bestCong && sum(cand) < bestSum) {
+			bestCong = c
+			bestSum = sum(cand)
+			copy(best, cand)
+		}
+	}
+	return best, bestCong
+}
+
+// Flatten converts the pseudo-schedule into a feasible oblivious
+// prefix: each global step t with congestion c_t is expanded into c_t
+// unit steps, during which every machine processes its queued jobs of
+// step t one per sub-step. Ordering within a step is irrelevant to
+// correctness because jobs sharing (machine, step) belong to different
+// tracks, which carry no mutual precedence constraints. The result's
+// length is Σ_t c_t <= MaxCongestion()·Len().
+func (p *Pseudo) Flatten() *Oblivious {
+	length := p.Len()
+	var steps []Assignment
+	queue := make([][]int, p.M)
+	for t := 0; t < length; t++ {
+		for i := range queue {
+			queue[i] = queue[i][:0]
+		}
+		cong := 0
+		for _, tr := range p.Tracks {
+			if t >= len(tr.Steps) {
+				continue
+			}
+			for i, j := range tr.Steps[t] {
+				if j != Idle {
+					queue[i] = append(queue[i], j)
+					if len(queue[i]) > cong {
+						cong = len(queue[i])
+					}
+				}
+			}
+		}
+		if cong == 0 {
+			// An entirely idle step is preserved to keep precedence
+			// windows aligned across tracks.
+			steps = append(steps, NewIdle(p.M))
+			continue
+		}
+		for k := 0; k < cong; k++ {
+			a := NewIdle(p.M)
+			for i := range queue {
+				if k < len(queue[i]) {
+					a[i] = queue[i][k]
+				}
+			}
+			steps = append(steps, a)
+		}
+	}
+	return &Oblivious{M: p.M, Steps: steps}
+}
+
+// Compact returns the oblivious prefix with all-idle steps removed.
+// Removing an idle step preserves the relative order of every
+// assignment, hence all precedence windows and per-job masses, and can
+// only shorten the schedule. Pipelines apply it after flattening
+// (delayed tracks produce idle slots where every chain is waiting).
+func (o *Oblivious) Compact() *Oblivious {
+	out := &Oblivious{M: o.M, Tail: o.Tail}
+	for _, a := range o.Steps {
+		idle := true
+		for _, j := range a {
+			if j != Idle {
+				idle = false
+				break
+			}
+		}
+		if !idle {
+			out.Steps = append(out.Steps, a)
+		}
+	}
+	if len(out.Steps) == 0 && len(o.Steps) > 0 {
+		// Keep one step so cycling prefixes stay well defined.
+		out.Steps = append(out.Steps, o.Steps[0])
+	}
+	return out
+}
+
+// Validate checks that every track step has exactly M entries and only
+// valid job indices.
+func (p *Pseudo) Validate(n int) error {
+	for k, tr := range p.Tracks {
+		for t, a := range tr.Steps {
+			if len(a) != p.M {
+				return fmt.Errorf("sched: track %d step %d has %d machines, want %d", k, t, len(a), p.M)
+			}
+			for i, j := range a {
+				if j != Idle && (j < 0 || j >= n) {
+					return fmt.Errorf("sched: track %d step %d machine %d -> invalid job %d", k, t, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MassPerJobPseudo accumulates per-job mass across all tracks of the
+// pseudo-schedule (pseudo-schedules may multi-assign machines, so this
+// is the mass the flattened schedule will realize as well).
+func MassPerJobPseudo(p *Pseudo, pm [][]float64, n int) []float64 {
+	mass := make([]float64, n)
+	for _, tr := range p.Tracks {
+		for _, a := range tr.Steps {
+			for i, j := range a {
+				if j != Idle {
+					mass[j] += pm[i][j]
+				}
+			}
+		}
+	}
+	return mass
+}

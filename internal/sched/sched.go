@@ -1,0 +1,291 @@
+// Package sched defines the schedule representations of Lin &
+// Rajaraman (SPAA 2007) and the transformations between them:
+//
+//   - Assignment — one step's machine→job map;
+//   - Policy — the general (possibly adaptive) schedule abstraction;
+//   - Regimen — a stationary policy f_S depending only on the
+//     unfinished set (Definition 2.2);
+//   - Oblivious — a time-indexed schedule independent of the unfinished
+//     set (Definition 2.3), as a finite prefix plus an infinite tail;
+//   - Pseudo — a pseudo-schedule (Definition 4.1): per-chain schedules
+//     whose union may assign a machine to several jobs per step;
+//   - transformations: random delays, flattening, replication,
+//     concatenation (Section 4.1's conversion pipeline);
+//   - mass accounting (Definition 2.4) and feasibility validation.
+package sched
+
+import (
+	"fmt"
+
+	"suu/internal/model"
+)
+
+// Idle marks a machine with no job in an Assignment.
+const Idle = -1
+
+// Assignment maps each machine index to a job index, or Idle.
+type Assignment []int
+
+// Clone returns a copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	c := make(Assignment, len(a))
+	copy(c, a)
+	return c
+}
+
+// NewIdle returns an all-idle assignment over m machines.
+func NewIdle(m int) Assignment {
+	a := make(Assignment, m)
+	for i := range a {
+		a[i] = Idle
+	}
+	return a
+}
+
+// State is the scheduling state visible to a Policy at one step.
+type State struct {
+	// Unfinished[j] reports whether job j has not yet completed.
+	Unfinished []bool
+	// Eligible[j] reports whether j is unfinished and all its
+	// predecessors have completed.
+	Eligible []bool
+	// Step is the 0-based index of the step about to execute.
+	Step int
+}
+
+// Policy produces one step's assignment from the current state. It is
+// the general notion of schedule from Definition 2.1: adaptive
+// policies read Unfinished/Eligible, oblivious ones only Step.
+type Policy interface {
+	Assign(st *State) Assignment
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(st *State) Assignment
+
+// Assign implements Policy.
+func (f PolicyFunc) Assign(st *State) Assignment { return f(st) }
+
+// OutcomeObserver is an optional extension of Policy: after executing
+// a step, the simulator reports the assignment that was played and
+// which jobs completed in that step. Learning policies (the §5
+// "online" extension) use this for exact credit assignment; pure
+// policies simply don't implement it.
+type OutcomeObserver interface {
+	Observe(played Assignment, completed []bool)
+}
+
+// Tail generates assignments for steps beyond an oblivious prefix.
+type Tail interface {
+	// TailAssign returns the assignment for the k-th step after the
+	// prefix (k >= 0).
+	TailAssign(k int) Assignment
+}
+
+// Oblivious is an oblivious schedule: a finite prefix of assignments
+// followed by an optional infinite tail. A nil Tail repeats the prefix
+// forever (the Σ_o^∞ construction of Theorem 3.6); an empty prefix
+// with nil tail is invalid for execution.
+type Oblivious struct {
+	M     int
+	Steps []Assignment
+	Tail  Tail
+}
+
+// Len returns the prefix length.
+func (o *Oblivious) Len() int { return len(o.Steps) }
+
+// At returns the assignment of step t (0-based), consulting the tail
+// or cycling the prefix beyond the prefix length.
+func (o *Oblivious) At(t int) Assignment {
+	if t < len(o.Steps) {
+		return o.Steps[t]
+	}
+	if o.Tail != nil {
+		return o.Tail.TailAssign(t - len(o.Steps))
+	}
+	if len(o.Steps) == 0 {
+		panic("sched: empty oblivious schedule with no tail")
+	}
+	return o.Steps[t%len(o.Steps)]
+}
+
+// Assign implements Policy; oblivious schedules ignore the job state.
+func (o *Oblivious) Assign(st *State) Assignment { return o.At(st.Step) }
+
+// Validate checks structural feasibility: every step assigns each of
+// the M machines to a job in [0,n) or Idle.
+func (o *Oblivious) Validate(n int) error {
+	for t, a := range o.Steps {
+		if len(a) != o.M {
+			return fmt.Errorf("sched: step %d has %d machines, want %d", t, len(a), o.M)
+		}
+		for i, j := range a {
+			if j != Idle && (j < 0 || j >= n) {
+				return fmt.Errorf("sched: step %d machine %d assigned to invalid job %d", t, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Concat returns a new schedule running o's prefix then p's prefix;
+// the tail is taken from p.
+func Concat(o, p *Oblivious) *Oblivious {
+	if o.M != p.M {
+		panic("sched: concat of schedules with different machine counts")
+	}
+	steps := make([]Assignment, 0, len(o.Steps)+len(p.Steps))
+	steps = append(steps, o.Steps...)
+	steps = append(steps, p.Steps...)
+	return &Oblivious{M: o.M, Steps: steps, Tail: p.Tail}
+}
+
+// Replicate repeats every prefix step sigma times (the schedule
+// replication step of Section 4.1): step τ of the result equals step
+// ⌊τ/sigma⌋ of the input prefix. The tail is preserved.
+func (o *Oblivious) Replicate(sigma int) *Oblivious {
+	if sigma < 1 {
+		panic("sched: replication factor must be >= 1")
+	}
+	steps := make([]Assignment, 0, len(o.Steps)*sigma)
+	for _, a := range o.Steps {
+		for k := 0; k < sigma; k++ {
+			steps = append(steps, a)
+		}
+	}
+	return &Oblivious{M: o.M, Steps: steps, Tail: o.Tail}
+}
+
+// TopoRoundRobin is the Σ_o,3 tail: at tail step k every machine is
+// assigned to job Order[k mod n]. Combined with an eligibility check
+// in the executor this completes every job eventually with probability
+// one, bounding the expected makespan of the composed schedule.
+type TopoRoundRobin struct {
+	M     int
+	Order []int
+}
+
+// TailAssign implements Tail.
+func (rr *TopoRoundRobin) TailAssign(k int) Assignment {
+	j := rr.Order[k%len(rr.Order)]
+	a := make(Assignment, rr.M)
+	for i := range a {
+		a[i] = j
+	}
+	return a
+}
+
+// Regimen is a stationary policy: the assignment depends only on the
+// set of unfinished jobs (Definition 2.2). Supports n <= 64 jobs via
+// bitmask keys; missing states fall back to all-idle (which the
+// simulator treats as a stuck schedule).
+type Regimen struct {
+	M int
+	N int
+	// F maps the bitmask of unfinished jobs to that state's assignment.
+	F map[uint64]Assignment
+}
+
+// NewRegimen returns an empty regimen for n jobs and m machines.
+func NewRegimen(n, m int) *Regimen {
+	if n > 64 {
+		panic("sched: regimen supports at most 64 jobs")
+	}
+	return &Regimen{M: m, N: n, F: make(map[uint64]Assignment)}
+}
+
+// Key packs an unfinished mask from a boolean slice.
+func Key(unfinished []bool) uint64 {
+	var k uint64
+	for j, u := range unfinished {
+		if u {
+			k |= 1 << uint(j)
+		}
+	}
+	return k
+}
+
+// Assign implements Policy.
+func (r *Regimen) Assign(st *State) Assignment {
+	if a, ok := r.F[Key(st.Unfinished)]; ok {
+		return a
+	}
+	return NewIdle(r.M)
+}
+
+// MassPerJob returns, for each job, the total (uncapped) mass
+// accumulated over the prefix of the oblivious schedule: Σ_t p[i][j]
+// over assignments f_t(i) = j. This is the quantity the constructions
+// of Sections 3 and 4 certify lower bounds on.
+func MassPerJob(in *model.Instance, steps []Assignment) []float64 {
+	mass := make([]float64, in.N)
+	for _, a := range steps {
+		for i, j := range a {
+			if j != Idle {
+				mass[j] += in.P[i][j]
+			}
+		}
+	}
+	return mass
+}
+
+// MassBySteps returns the running per-job mass after each step:
+// out[t][j] is j's mass accumulated in steps 0..t.
+func MassBySteps(in *model.Instance, steps []Assignment) [][]float64 {
+	out := make([][]float64, len(steps))
+	cur := make([]float64, in.N)
+	for t, a := range steps {
+		for i, j := range a {
+			if j != Idle {
+				cur[j] += in.P[i][j]
+			}
+		}
+		row := make([]float64, in.N)
+		copy(row, cur)
+		out[t] = row
+	}
+	return out
+}
+
+// CheckMassWindows verifies condition (ii) of AccuMass-C on an
+// oblivious prefix: whenever j1 ≺ j2 (direct precedence edge), no
+// machine may be assigned to j2 at a step before j1 has accumulated
+// mass >= target. Returns the first violation found.
+func CheckMassWindows(in *model.Instance, steps []Assignment, target float64) error {
+	running := make([]float64, in.N)
+	reachedAt := make([]int, in.N)
+	for j := range reachedAt {
+		reachedAt[j] = -1
+	}
+	firstAssigned := make([]int, in.N)
+	for j := range firstAssigned {
+		firstAssigned[j] = -1
+	}
+	for t, a := range steps {
+		for i, j := range a {
+			if j == Idle {
+				continue
+			}
+			if firstAssigned[j] == -1 {
+				firstAssigned[j] = t
+			}
+			running[j] += in.P[i][j]
+			if running[j] >= target-1e-9 && reachedAt[j] == -1 {
+				reachedAt[j] = t
+			}
+		}
+	}
+	for j2 := 0; j2 < in.N; j2++ {
+		if firstAssigned[j2] == -1 {
+			continue
+		}
+		for _, j1 := range in.Prec.Preds(j2) {
+			if reachedAt[j1] == -1 || reachedAt[j1] >= firstAssigned[j2] {
+				return fmt.Errorf("sched: job %d assigned at step %d before predecessor %d reached mass %.3f",
+					j2, firstAssigned[j2], j1, target)
+			}
+		}
+	}
+	return nil
+}

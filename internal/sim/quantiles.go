@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"math/rand"
+
+	"suu/internal/model"
+	"suu/internal/sched"
+	"suu/internal/stats"
+)
+
+// MakespanQuantiles runs reps executions and returns the requested
+// quantiles of the realized makespan distribution (e.g. 0.5, 0.9,
+// 0.99) along with the sample itself. Tail quantiles matter for the
+// project-management story: a manager cares about the deadline she can
+// promise with 95% confidence, not only the mean.
+func MakespanQuantiles(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int64, qs []float64) ([]float64, []float64) {
+	if reps <= 0 {
+		panic("sim: reps must be positive")
+	}
+	xs := make([]float64, reps)
+	for r := 0; r < reps; r++ {
+		rng := rand.New(rand.NewSource(seed + int64(r)*1_000_003))
+		xs[r] = float64(Run(in, pol, maxSteps, rng).Makespan)
+	}
+	out := make([]float64, len(qs))
+	for k, q := range qs {
+		out[k] = stats.Quantile(xs, q)
+	}
+	return out, xs
+}

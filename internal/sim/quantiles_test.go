@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"suu/internal/model"
+	"suu/internal/sched"
+)
+
+func TestMakespanQuantiles(t *testing.T) {
+	in := model.New(1, 1)
+	in.P[0][0] = 0.5
+	pol := sched.PolicyFunc(func(st *sched.State) sched.Assignment {
+		return sched.Assignment{0}
+	})
+	qs, xs := MakespanQuantiles(in, pol, 4000, 10000, 5, []float64{0.5, 0.9})
+	if len(xs) != 4000 {
+		t.Fatalf("sample size %d", len(xs))
+	}
+	// Geometric(1/2): median 1, q90 ∈ {3,4}.
+	if qs[0] > 2 {
+		t.Errorf("median %v, want <= 2", qs[0])
+	}
+	if qs[1] < 2 || qs[1] > 5 {
+		t.Errorf("q90 %v outside [2,5]", qs[1])
+	}
+	if math.IsNaN(qs[0]) {
+		t.Error("NaN quantile")
+	}
+	// Quantiles agree with the seeds used by Estimate (same derivation).
+	sum, _ := Estimate(in, pol, 4000, 10000, 5)
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if math.Abs(mean-sum.Mean) > 1e-12 {
+		t.Errorf("sample mean %v != Estimate mean %v (seed derivation drifted)", mean, sum.Mean)
+	}
+}

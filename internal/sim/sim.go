@@ -1,0 +1,143 @@
+// Package sim executes SUU schedules. It provides a Monte Carlo
+// engine that runs any sched.Policy on an instance, tracking job
+// completions, eligibility under the precedence dag, and per-job mass
+// accumulation (Definition 2.4), plus estimators that aggregate many
+// runs into makespan summaries.
+package sim
+
+import (
+	"math/rand"
+
+	"suu/internal/model"
+	"suu/internal/sched"
+	"suu/internal/stats"
+)
+
+// Result is the outcome of a single execution.
+type Result struct {
+	// Makespan is the number of steps executed until the last job
+	// completed; equals the step cap when Completed is false.
+	Makespan int
+	// Completed reports whether every job finished within the cap.
+	Completed bool
+	// Mass[j] is the total mass job j accumulated while unfinished
+	// (sum of p[i][j] over machine-steps assigned to j).
+	Mass []float64
+}
+
+// Run executes policy pol on instance in for at most maxSteps steps
+// using rng for completion draws. Machines assigned to ineligible or
+// finished jobs idle for the step, per Definition 2.1.
+func Run(in *model.Instance, pol sched.Policy, maxSteps int, rng *rand.Rand) Result {
+	n, m := in.N, in.M
+	unfinished := make([]bool, n)
+	eligible := make([]bool, n)
+	predsLeft := make([]int, n)
+	for j := 0; j < n; j++ {
+		unfinished[j] = true
+		predsLeft[j] = in.Prec.InDeg(j)
+		eligible[j] = predsLeft[j] == 0
+	}
+	remaining := n
+	mass := make([]float64, n)
+	fail := make([]float64, n)
+	touched := make([]int, 0, m)
+	st := &sched.State{Unfinished: unfinished, Eligible: eligible}
+	observer, _ := pol.(sched.OutcomeObserver)
+	completed := make([]bool, n)
+	effective := make(sched.Assignment, m)
+
+	for t := 0; t < maxSteps && remaining > 0; t++ {
+		st.Step = t
+		a := pol.Assign(st)
+		touched = touched[:0]
+		if observer != nil {
+			for j := range completed {
+				completed[j] = false
+			}
+			for i := range effective {
+				effective[i] = sched.Idle
+			}
+		}
+		for i := 0; i < m; i++ {
+			j := a[i]
+			if j == sched.Idle || j < 0 || j >= n || !eligible[j] {
+				continue
+			}
+			if observer != nil {
+				effective[i] = j
+			}
+			if fail[j] == 0 {
+				fail[j] = 1
+				touched = append(touched, j)
+			}
+			fail[j] *= 1 - in.P[i][j]
+			mass[j] += in.P[i][j]
+		}
+		for _, j := range touched {
+			if rng.Float64() < 1-fail[j] {
+				unfinished[j] = false
+				eligible[j] = false
+				if observer != nil {
+					completed[j] = true
+				}
+				remaining--
+				for _, s := range in.Prec.Succs(j) {
+					predsLeft[s]--
+					if predsLeft[s] == 0 && unfinished[s] {
+						eligible[s] = true
+					}
+				}
+			}
+			fail[j] = 0
+		}
+		if observer != nil {
+			observer.Observe(effective, completed)
+		}
+		if remaining == 0 {
+			return Result{Makespan: t + 1, Completed: true, Mass: mass}
+		}
+	}
+	return Result{Makespan: maxSteps, Completed: remaining == 0, Mass: mass}
+}
+
+// Estimate runs reps independent executions (seeded deterministically
+// from seed) and returns the summary of observed makespans together
+// with the number of runs that hit the step cap without completing.
+func Estimate(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int64) (stats.Summary, int) {
+	if reps <= 0 {
+		panic("sim: reps must be positive")
+	}
+	xs := make([]float64, 0, reps)
+	incomplete := 0
+	for r := 0; r < reps; r++ {
+		rng := rand.New(rand.NewSource(seed + int64(r)*1_000_003))
+		res := Run(in, pol, maxSteps, rng)
+		if !res.Completed {
+			incomplete++
+		}
+		xs = append(xs, float64(res.Makespan))
+	}
+	return stats.Summarize(xs), incomplete
+}
+
+// MassWithinHorizon runs reps executions of pol truncated at horizon
+// steps and returns, for job j, the fraction of runs in which j
+// accumulated mass at least threshold. Used to validate Theorem 2.2
+// empirically.
+func MassWithinHorizon(in *model.Instance, pol sched.Policy, horizon, reps int, threshold float64, seed int64) []float64 {
+	counts := make([]float64, in.N)
+	for r := 0; r < reps; r++ {
+		rng := rand.New(rand.NewSource(seed + int64(r)*7_777_777))
+		res := Run(in, pol, horizon, rng)
+		for j, mss := range res.Mass {
+			if mss >= threshold-1e-12 {
+				counts[j]++
+			}
+		}
+	}
+	for j := range counts {
+		counts[j] /= float64(reps)
+	}
+	return counts
+}

@@ -1,0 +1,213 @@
+// Package workload generates SUU instances for tests, examples, and
+// the experiment harness: random probability matrices of several
+// shapes (uniform, machine specialists, bimodal) combined with the
+// precedence families analysed in the paper (independent, disjoint
+// chains, out-/in-trees, mixed forests, and layered general dags).
+package workload
+
+import (
+	"math/rand"
+
+	"suu/internal/model"
+)
+
+// ProbShape selects how success probabilities are drawn.
+type ProbShape int
+
+const (
+	// Uniform draws p[i][j] ~ U[Lo, Hi].
+	Uniform ProbShape = iota
+	// Specialist gives machine i probability Hi on jobs j with
+	// j mod m == i and Lo elsewhere — the project-management story of
+	// skilled workers.
+	Specialist
+	// Bimodal draws Hi with probability 0.25 and Lo otherwise — a grid
+	// with a few well-placed fast nodes per job.
+	Bimodal
+)
+
+// Config parameterizes instance generation.
+type Config struct {
+	Jobs     int
+	Machines int
+	Shape    ProbShape
+	// Lo and Hi bound the probabilities (defaults 0.05 and 0.95).
+	Lo, Hi float64
+	Seed   int64
+}
+
+func (c Config) defaults() Config {
+	if c.Lo == 0 && c.Hi == 0 {
+		c.Lo, c.Hi = 0.05, 0.95
+	}
+	return c
+}
+
+// fillProbs populates the matrix per the config and guarantees every
+// job has at least one machine with probability >= Lo.
+func fillProbs(in *model.Instance, c Config, rng *rand.Rand) {
+	for i := 0; i < in.M; i++ {
+		for j := 0; j < in.N; j++ {
+			switch c.Shape {
+			case Uniform:
+				in.P[i][j] = c.Lo + (c.Hi-c.Lo)*rng.Float64()
+			case Specialist:
+				if j%in.M == i {
+					in.P[i][j] = c.Hi
+				} else {
+					in.P[i][j] = c.Lo
+				}
+			case Bimodal:
+				if rng.Float64() < 0.25 {
+					in.P[i][j] = c.Hi
+				} else {
+					in.P[i][j] = c.Lo
+				}
+			}
+		}
+	}
+	for j := 0; j < in.N; j++ {
+		ok := false
+		for i := 0; i < in.M; i++ {
+			if in.P[i][j] > 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			in.P[rng.Intn(in.M)][j] = c.Hi
+		}
+	}
+}
+
+// Independent generates an instance with no precedence constraints.
+func Independent(c Config) *model.Instance {
+	c = c.defaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	in := model.New(c.Jobs, c.Machines)
+	fillProbs(in, c, rng)
+	return in
+}
+
+// Chains generates an instance whose dag is nChains disjoint chains of
+// (nearly) equal length covering all jobs.
+func Chains(c Config, nChains int) *model.Instance {
+	in := Independent(c)
+	if nChains < 1 {
+		nChains = 1
+	}
+	if nChains > c.Jobs {
+		nChains = c.Jobs
+	}
+	for start := 0; start < nChains; start++ {
+		prev := -1
+		for j := start; j < c.Jobs; j += nChains {
+			if prev >= 0 {
+				in.Prec.MustEdge(prev, j)
+			}
+			prev = j
+		}
+	}
+	return in
+}
+
+// OutTree generates a random recursive out-tree: job v's parent is
+// uniform over 0..v-1.
+func OutTree(c Config) *model.Instance {
+	in := Independent(c)
+	rng := rand.New(rand.NewSource(c.Seed + 1))
+	for v := 1; v < c.Jobs; v++ {
+		in.Prec.MustEdge(rng.Intn(v), v)
+	}
+	return in
+}
+
+// InTree generates a random in-tree (edges toward job 0).
+func InTree(c Config) *model.Instance {
+	in := Independent(c)
+	rng := rand.New(rand.NewSource(c.Seed + 2))
+	for v := 1; v < c.Jobs; v++ {
+		in.Prec.MustEdge(v, rng.Intn(v))
+	}
+	return in
+}
+
+// MixedForest generates components alternating between out-trees and
+// in-trees of random sizes.
+func MixedForest(c Config, components int) *model.Instance {
+	in := Independent(c)
+	rng := rand.New(rand.NewSource(c.Seed + 3))
+	if components < 1 {
+		components = 1
+	}
+	// Partition jobs into components round-robin, then wire each.
+	member := make([][]int, components)
+	for j := 0; j < c.Jobs; j++ {
+		k := j % components
+		member[k] = append(member[k], j)
+	}
+	for k, verts := range member {
+		inTree := k%2 == 1
+		for idx := 1; idx < len(verts); idx++ {
+			p := verts[rng.Intn(idx)]
+			v := verts[idx]
+			if inTree {
+				in.Prec.MustEdge(v, p)
+			} else {
+				in.Prec.MustEdge(p, v)
+			}
+		}
+	}
+	return in
+}
+
+// Layered generates a general dag of the given number of layers with
+// edges only between consecutive layers, each present with probability
+// density — the fallback (level-decomposition) regime.
+func Layered(c Config, layers int, density float64) *model.Instance {
+	in := Independent(c)
+	rng := rand.New(rand.NewSource(c.Seed + 4))
+	if layers < 1 {
+		layers = 1
+	}
+	layerOf := make([]int, c.Jobs)
+	for j := 0; j < c.Jobs; j++ {
+		layerOf[j] = j * layers / c.Jobs
+	}
+	for u := 0; u < c.Jobs; u++ {
+		for v := 0; v < c.Jobs; v++ {
+			if layerOf[v] == layerOf[u]+1 && rng.Float64() < density {
+				in.Prec.MustEdge(u, v)
+			}
+		}
+	}
+	return in
+}
+
+// GridPipeline models the paper's grid-computing motivation: a root
+// partitioning task fans out into worker subtasks organised as an
+// out-tree (each subtask may spawn finer subtasks), with bimodal
+// machine quality (geographically near nodes are fast).
+func GridPipeline(jobs, machines int, seed int64) *model.Instance {
+	c := Config{Jobs: jobs, Machines: machines, Shape: Bimodal, Lo: 0.1, Hi: 0.9, Seed: seed}
+	in := Independent(c)
+	rng := rand.New(rand.NewSource(seed + 5))
+	for v := 1; v < jobs; v++ {
+		// Prefer recent parents: shallow bushy tree like map-reduce fan-out.
+		lo := v - 4
+		if lo < 0 {
+			lo = 0
+		}
+		in.Prec.MustEdge(lo+rng.Intn(v-lo), v)
+	}
+	return in
+}
+
+// ProjectPlan models the project-management motivation: two parallel
+// work streams (chains) merging conceptually at the end (kept as
+// disjoint chains to stay in the SUU-C class), with specialist
+// workers.
+func ProjectPlan(jobs, workers int, seed int64) *model.Instance {
+	c := Config{Jobs: jobs, Machines: workers, Shape: Specialist, Lo: 0.1, Hi: 0.85, Seed: seed}
+	return Chains(c, 2)
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+
+	"suu/internal/dag"
+)
+
+func TestIndependentValidates(t *testing.T) {
+	in := Independent(Config{Jobs: 10, Machines: 4, Seed: 1})
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Prec.E() != 0 {
+		t.Error("independent instance has edges")
+	}
+	for i := 0; i < in.M; i++ {
+		for j := 0; j < in.N; j++ {
+			if in.P[i][j] < 0.05-1e-12 || in.P[i][j] > 0.95+1e-12 {
+				t.Fatalf("P[%d][%d]=%v outside defaults", i, j, in.P[i][j])
+			}
+		}
+	}
+}
+
+func TestChainsClass(t *testing.T) {
+	in := Chains(Config{Jobs: 12, Machines: 3, Seed: 2}, 3)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Prec.Classify(); got != dag.ClassChains {
+		t.Errorf("class=%v, want chains", got)
+	}
+	chains, err := in.Prec.Chains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 3 {
+		t.Errorf("%d chains, want 3", len(chains))
+	}
+	total := 0
+	for _, c := range chains {
+		total += len(c)
+	}
+	if total != 12 {
+		t.Errorf("chains cover %d jobs, want 12", total)
+	}
+}
+
+func TestTreesClass(t *testing.T) {
+	out := OutTree(Config{Jobs: 15, Machines: 3, Seed: 3})
+	if got := out.Prec.Classify(); got != dag.ClassOutForest {
+		t.Errorf("out-tree class=%v", got)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	intr := InTree(Config{Jobs: 15, Machines: 3, Seed: 4})
+	if got := intr.Prec.Classify(); got != dag.ClassInForest {
+		t.Errorf("in-tree class=%v", got)
+	}
+}
+
+func TestMixedForestClass(t *testing.T) {
+	in := MixedForest(Config{Jobs: 20, Machines: 4, Seed: 5}, 4)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cls := in.Prec.Classify()
+	switch cls {
+	case dag.ClassMixedForest, dag.ClassOutForest, dag.ClassInForest, dag.ClassChains:
+		// Depending on sizes, some components degenerate to chains; all
+		// of these classes are forests and acceptable.
+	default:
+		t.Errorf("class=%v, want a forest class", cls)
+	}
+}
+
+func TestLayeredIsAcyclic(t *testing.T) {
+	in := Layered(Config{Jobs: 18, Machines: 4, Seed: 6}, 3, 0.4)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Prec.E() == 0 {
+		t.Error("layered dag generated no edges (density 0.4, 18 jobs)")
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	g := GridPipeline(20, 6, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Prec.Classify(); got != dag.ClassOutForest && got != dag.ClassChains {
+		t.Errorf("grid pipeline class=%v, want out-forest-ish", got)
+	}
+	p := ProjectPlan(10, 4, 8)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Prec.Classify(); got != dag.ClassChains {
+		t.Errorf("project plan class=%v, want chains", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Independent(Config{Jobs: 6, Machines: 3, Seed: 42})
+	b := Independent(Config{Jobs: 6, Machines: 3, Seed: 42})
+	for i := range a.P {
+		for j := range a.P[i] {
+			if a.P[i][j] != b.P[i][j] {
+				t.Fatal("same seed, different instance")
+			}
+		}
+	}
+}
+
+func TestSpecialistShape(t *testing.T) {
+	in := Independent(Config{Jobs: 6, Machines: 3, Shape: Specialist, Lo: 0.1, Hi: 0.9, Seed: 9})
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 6; j++ {
+			want := 0.1
+			if j%3 == i {
+				want = 0.9
+			}
+			if in.P[i][j] != want {
+				t.Errorf("P[%d][%d]=%v, want %v", i, j, in.P[i][j], want)
+			}
+		}
+	}
+}

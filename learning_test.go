@@ -1,0 +1,86 @@
+package suu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLearningSchedule(t *testing.T) {
+	x := tinyIndependent()
+	s := Learning(x, 0.5)
+	if !s.Adaptive {
+		t.Error("learning schedule should be adaptive")
+	}
+	// Train over repeated estimates; must complete throughout.
+	for round := 0; round < 3; round++ {
+		est, err := s.EstimateMakespan(x, 200, WithSimSeed(int64(round)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Incomplete != 0 {
+			t.Fatalf("round %d: %d incomplete", round, est.Incomplete)
+		}
+	}
+	// After training, the learner should be within a small factor of
+	// the clairvoyant adaptive policy.
+	estL, err := Learning(x, 0.5).EstimateMakespan(x, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estA, err := Adaptive(x).EstimateMakespan(x, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estL.Mean > 3*estA.Mean+2 {
+		t.Errorf("learner %v far from adaptive %v", estL.Mean, estA.Mean)
+	}
+}
+
+func TestGanttOnSolvedSchedule(t *testing.T) {
+	x := tinyIndependent()
+	s, err := Solve(x, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Gantt(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g, "m0") || !strings.Contains(g, "m1") {
+		t.Errorf("gantt missing rows:\n%s", g)
+	}
+	if _, err := Adaptive(x).Gantt(5); err == nil {
+		t.Error("Gantt on adaptive schedule should error")
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	x := tinyIndependent()
+	s, err := Solve(x, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSchedule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != s.Kind || back.PrefixLen != s.PrefixLen {
+		t.Errorf("metadata lost: %q/%d vs %q/%d", back.Kind, back.PrefixLen, s.Kind, s.PrefixLen)
+	}
+	// The deserialized schedule must execute identically.
+	m1, _ := s.RunOnce(x, 9, 100000)
+	m2, _ := back.RunOnce(x, 9, 100000)
+	if m1 != m2 {
+		t.Errorf("execution differs after round trip: %d vs %d", m1, m2)
+	}
+	if _, err := Adaptive(x).MarshalJSON(); err == nil {
+		t.Error("adaptive schedule serialized")
+	}
+	if _, err := LoadSchedule([]byte(`{}`)); err == nil {
+		t.Error("empty payload accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package suu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"suu/internal/core"
+	"suu/internal/sched"
+	"suu/internal/sim"
+)
+
+// Schedule is a solved SUU schedule: either an oblivious schedule
+// (finite prefix plus tail) or an adaptive policy. It carries the
+// construction's certified metadata.
+type Schedule struct {
+	policy sched.Policy
+
+	// Kind names the construction ("chains (Thm 4.4)", ...).
+	Kind string
+	// Guarantee is the paper's approximation bound for this
+	// construction on this instance class.
+	Guarantee string
+	// Adaptive reports whether the schedule reacts to the unfinished
+	// set (regimens, greedy policies) rather than being oblivious.
+	Adaptive bool
+	// PrefixLen is the oblivious prefix length (0 for adaptive).
+	PrefixLen int
+	// CoreLength is the pre-replication prefix in which every job
+	// accumulates the certified mass (0 for adaptive).
+	CoreLength int
+	// LPValue is the LP optimum T* when an LP was solved (0 otherwise).
+	LPValue float64
+	// LowerBound is the certified lower bound on the optimal expected
+	// makespan (T*/16, Lemma 4.2), when available.
+	LowerBound float64
+}
+
+// Estimate summarizes a Monte Carlo makespan estimate.
+type Estimate struct {
+	// Mean is the estimated expected makespan.
+	Mean float64
+	// HalfWidth95 is the 95% confidence half-width of Mean.
+	HalfWidth95 float64
+	// Min and Max are the extreme observed makespans.
+	Min, Max float64
+	// Runs is the number of simulations, Incomplete how many hit the
+	// step cap before finishing (should be 0; a nonzero value means the
+	// cap was too small).
+	Runs, Incomplete int
+}
+
+// String renders "mean ± hw".
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.2f ± %.2f steps (n=%d)", e.Mean, e.HalfWidth95, e.Runs)
+}
+
+// estimateOptions configure EstimateMakespan.
+type estimateOptions struct {
+	maxSteps int
+	seed     int64
+}
+
+// EstimateOption configures EstimateMakespan.
+type EstimateOption func(*estimateOptions)
+
+// WithMaxSteps caps each simulated execution (default 1,000,000).
+func WithMaxSteps(steps int) EstimateOption {
+	return func(o *estimateOptions) { o.maxSteps = steps }
+}
+
+// WithSimSeed seeds the Monte Carlo executions (default 1).
+func WithSimSeed(seed int64) EstimateOption {
+	return func(o *estimateOptions) { o.seed = seed }
+}
+
+// EstimateMakespan estimates the schedule's expected makespan on the
+// instance by Monte Carlo simulation with reps independent runs.
+func (s *Schedule) EstimateMakespan(x *Instance, reps int, opts ...EstimateOption) (Estimate, error) {
+	if err := x.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	o := estimateOptions{maxSteps: 1_000_000, seed: 1}
+	for _, f := range opts {
+		f(&o)
+	}
+	sum, incomplete := sim.Estimate(x.inner, s.policy, reps, o.maxSteps, o.seed)
+	return Estimate{
+		Mean:        sum.Mean,
+		HalfWidth95: sum.HalfWidth95,
+		Min:         sum.Min,
+		Max:         sum.Max,
+		Runs:        sum.N,
+		Incomplete:  incomplete,
+	}, nil
+}
+
+// RunOnce executes the schedule once with the given seed and returns
+// the realized makespan and whether all jobs completed within the cap.
+func (s *Schedule) RunOnce(x *Instance, seed int64, maxSteps int) (int, bool) {
+	res := sim.Run(x.inner, s.policy, maxSteps, rand.New(rand.NewSource(seed)))
+	return res.Makespan, res.Completed
+}
+
+// Baseline names a reference policy for comparisons.
+type Baseline string
+
+// Available baselines.
+const (
+	// BaselineGreedy: every machine independently picks the eligible
+	// job it is best at.
+	BaselineGreedy Baseline = "greedy-maxp"
+	// BaselineRoundRobin rotates machines over eligible jobs.
+	BaselineRoundRobin Baseline = "round-robin"
+	// BaselineAllOnOne gangs all machines on the first eligible job.
+	BaselineAllOnOne Baseline = "all-on-one"
+	// BaselineRandom assigns machines to uniformly random eligible jobs.
+	BaselineRandom Baseline = "random"
+)
+
+// NewBaseline returns the named baseline policy as a Schedule.
+func NewBaseline(x *Instance, b Baseline, seed int64) (*Schedule, error) {
+	var p sched.Policy
+	switch b {
+	case BaselineGreedy:
+		p = &core.GreedyMaxPPolicy{In: x.inner}
+	case BaselineRoundRobin:
+		p = &core.RoundRobinPolicy{In: x.inner}
+	case BaselineAllOnOne:
+		p = &core.AllOnOnePolicy{In: x.inner}
+	case BaselineRandom:
+		p = &core.RandomPolicy{In: x.inner, Rng: rand.New(rand.NewSource(seed))}
+	default:
+		return nil, fmt.Errorf("suu: unknown baseline %q", b)
+	}
+	return &Schedule{policy: p, Kind: string(b), Guarantee: "none (baseline)", Adaptive: true}, nil
+}
+
+// MakespanQuantiles estimates quantiles of the makespan distribution
+// (e.g. 0.5, 0.9, 0.95) from reps simulated executions — the deadline
+// the schedule can promise with the given confidence, not just its
+// mean.
+func (s *Schedule) MakespanQuantiles(x *Instance, reps int, qs []float64, opts ...EstimateOption) ([]float64, error) {
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	o := estimateOptions{maxSteps: 1_000_000, seed: 1}
+	for _, f := range opts {
+		f(&o)
+	}
+	quants, _ := sim.MakespanQuantiles(x.inner, s.policy, reps, o.maxSteps, o.seed, qs)
+	return quants, nil
+}

@@ -1,0 +1,283 @@
+// Package suu is a Go implementation of the approximation algorithms
+// of Lin & Rajaraman, "Approximation Algorithms for Multiprocessor
+// Scheduling under Uncertainty" (SPAA 2007).
+//
+// The problem: n unit-time jobs must be executed by m machines under
+// precedence constraints; when machine i works on job j for one step,
+// the job completes with probability p[i][j], independently across
+// machines and steps. Several machines may gang up on one job. The
+// goal is to minimize the expected makespan.
+//
+// Quick start:
+//
+//	inst := suu.NewInstance(3, 2)
+//	inst.SetProb(0, 0, 0.9) // machine 0 is good at job 0
+//	inst.SetProb(1, 1, 0.8)
+//	inst.SetProb(0, 2, 0.3)
+//	inst.AddPrecedence(0, 1) // job 0 before job 1
+//	s, err := suu.Solve(inst, suu.WithSeed(7))
+//	est, err := s.EstimateMakespan(inst, 1000)
+//
+// Solve dispatches on the shape of the precedence dag to the paper's
+// strongest applicable construction:
+//
+//	independent jobs  → LP-based oblivious schedule (Theorem 4.5)
+//	disjoint chains   → LP + rounding + random delays (Theorem 4.4)
+//	in-/out-forests   → chain decomposition pipeline (Theorem 4.8)
+//	mixed forests     → per-component decomposition (Theorem 4.7)
+//	anything else     → level-decomposition fallback (correct; no
+//	                    polylog guarantee from the paper)
+//
+// Adaptive (Theorem 3.3) and combinatorial-oblivious (Theorem 3.6)
+// schedules, exact small-instance optima (Malewicz's dynamic program)
+// and several baselines are also exposed.
+package suu
+
+import (
+	"errors"
+	"fmt"
+
+	"suu/internal/core"
+	"suu/internal/dag"
+	"suu/internal/model"
+	"suu/internal/opt"
+)
+
+// Instance is an SUU problem instance under construction.
+type Instance struct {
+	inner *model.Instance
+}
+
+// NewInstance returns an instance with nJobs jobs and nMachines
+// machines, all probabilities zero, and no precedence constraints.
+func NewInstance(nJobs, nMachines int) *Instance {
+	return &Instance{inner: model.New(nJobs, nMachines)}
+}
+
+// FromMatrix builds an instance from a [machine][job] probability
+// matrix and a list of precedence edges (before, after).
+func FromMatrix(p [][]float64, edges [][2]int) (*Instance, error) {
+	if len(p) == 0 || len(p[0]) == 0 {
+		return nil, errors.New("suu: empty probability matrix")
+	}
+	in := NewInstance(len(p[0]), len(p))
+	for i := range p {
+		if len(p[i]) != len(p[0]) {
+			return nil, fmt.Errorf("suu: ragged matrix row %d", i)
+		}
+		for j := range p[i] {
+			in.inner.P[i][j] = p[i][j]
+		}
+	}
+	for _, e := range edges {
+		if err := in.AddPrecedence(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return in, in.Validate()
+}
+
+// Jobs returns the number of jobs.
+func (x *Instance) Jobs() int { return x.inner.N }
+
+// Machines returns the number of machines.
+func (x *Instance) Machines() int { return x.inner.M }
+
+// SetProb sets the per-step success probability of machine i on job j.
+func (x *Instance) SetProb(machine, job int, p float64) {
+	x.inner.P[machine][job] = p
+}
+
+// Prob returns the success probability of machine i on job j.
+func (x *Instance) Prob(machine, job int) float64 {
+	return x.inner.P[machine][job]
+}
+
+// AddPrecedence declares that job `before` must complete before job
+// `after` becomes eligible.
+func (x *Instance) AddPrecedence(before, after int) error {
+	return x.inner.Prec.AddEdge(before, after)
+}
+
+// Validate checks all structural invariants (dimensions, probability
+// ranges, acyclicity, and that every job has a capable machine).
+func (x *Instance) Validate() error { return x.inner.Validate() }
+
+// Class describes the precedence family ("independent", "chains",
+// "out-forest", "in-forest", "mixed-forest", or "general"), which
+// determines the guarantee Solve can offer.
+func (x *Instance) Class() string { return x.inner.Prec.Classify().String() }
+
+// Width returns the dag width (maximum antichain) — Malewicz's
+// hardness parameter.
+func (x *Instance) Width() int { return x.inner.Prec.Width() }
+
+// Depth returns the number of jobs on the longest precedence path.
+func (x *Instance) Depth() int { return x.inner.Prec.Depth() }
+
+// Clone returns an independent deep copy.
+func (x *Instance) Clone() *Instance { return &Instance{inner: x.inner.Clone()} }
+
+// Option configures the solvers.
+type Option func(*core.Params)
+
+// WithSeed fixes the seed of every randomized construction step.
+func WithSeed(seed int64) Option {
+	return func(p *core.Params) { p.Seed = seed }
+}
+
+// WithMassTarget overrides the per-job mass target of the LP
+// constructions (default 1/2, the paper's constant).
+func WithMassTarget(target float64) Option {
+	return func(p *core.Params) { p.MassTarget = target }
+}
+
+// WithReplicationFactor overrides the σ = factor·⌈log₂ n⌉ schedule
+// replication (default 16).
+func WithReplicationFactor(factor int) Option {
+	return func(p *core.Params) { p.ReplicationFactor = factor }
+}
+
+// WithDelayTries sets how many random delay vectors the Las-Vegas
+// delay search samples (default 64).
+func WithDelayTries(tries int) Option {
+	return func(p *core.Params) { p.DelayTries = tries }
+}
+
+func buildParams(opts []Option) core.Params {
+	par := core.DefaultParams()
+	for _, o := range opts {
+		o(&par)
+	}
+	return par
+}
+
+// Solve computes an oblivious schedule using the strongest
+// construction the paper offers for the instance's precedence class
+// (see the package comment for the dispatch table).
+func Solve(x *Instance, opts ...Option) (*Schedule, error) {
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	par := buildParams(opts)
+	switch x.inner.Prec.Classify() {
+	case dag.ClassIndependent:
+		res, err := core.SUUIndependentLP(x.inner, par)
+		if err != nil {
+			return nil, err
+		}
+		return scheduleFromChains("oblivious-lp (Thm 4.5)", "O(log n · log min(n,m))", res), nil
+	case dag.ClassChains:
+		res, err := core.SUUChains(x.inner, par)
+		if err != nil {
+			return nil, err
+		}
+		return scheduleFromChains("chains (Thm 4.4)", "O(log m · log n · log(n+m)/loglog(n+m))", res), nil
+	case dag.ClassOutForest, dag.ClassInForest:
+		res, err := core.SUUForest(x.inner, par)
+		if err != nil {
+			return nil, err
+		}
+		return scheduleFromForest("trees (Thm 4.8)", "O(log m · log² n)", res), nil
+	case dag.ClassMixedForest:
+		res, err := core.SUUForest(x.inner, par)
+		if err != nil {
+			return nil, err
+		}
+		return scheduleFromForest("forest (Thm 4.7)", "O(log m · log² n · log(n+m)/loglog(n+m))", res), nil
+	default:
+		res, err := core.SUUForest(x.inner, par)
+		if err != nil {
+			return nil, err
+		}
+		return scheduleFromForest("level-fallback", "O(depth · chains-factor); outside the paper's classes", res), nil
+	}
+}
+
+// Adaptive returns SUU-I-ALG (Theorem 3.3): the greedy adaptive policy
+// that reruns MSM-ALG on the unfinished eligible jobs every step. For
+// independent jobs its expected makespan is O(log n)·OPT; with
+// precedence constraints it is a feasible greedy heuristic.
+func Adaptive(x *Instance) *Schedule {
+	return &Schedule{
+		policy:    &core.AdaptivePolicy{In: x.inner},
+		Kind:      "adaptive (Thm 3.3)",
+		Guarantee: "O(log n) for independent jobs",
+		Adaptive:  true,
+	}
+}
+
+// ObliviousCombinatorial returns SUU-I-OBL (Theorem 3.6) for
+// independent jobs: a pure combinatorial (LP-free) oblivious schedule
+// with expected makespan O(log² n)·OPT.
+func ObliviousCombinatorial(x *Instance, opts ...Option) (*Schedule, error) {
+	res, err := core.SUUIOblivious(x.inner, buildParams(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{
+		policy:     res.Schedule,
+		Kind:       "oblivious-combinatorial (Thm 3.6)",
+		Guarantee:  "O(log² n) for independent jobs",
+		PrefixLen:  res.Schedule.Len(),
+		CoreLength: res.CoreLength,
+	}, nil
+}
+
+// Optimal computes the exact optimal regimen and its expected makespan
+// via dynamic programming over unfinished-job states (Malewicz). Only
+// feasible for small instances; returns opt.ErrTooLarge beyond the
+// guards.
+func Optimal(x *Instance) (*Schedule, float64, error) {
+	reg, topt, err := opt.OptimalRegimen(x.inner)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Schedule{
+		policy:    reg,
+		Kind:      "optimal-regimen (exact DP)",
+		Guarantee: "exact",
+		Adaptive:  true,
+	}, topt, nil
+}
+
+// LowerBound computes a certified lower bound on the optimal expected
+// makespan: the maximum of the Lemma 4.2 LP bound T*/16 (the (LP1)
+// relaxation is solved over the instance's minimum chain cover, whose
+// constraints relax the true dag's) and elementary bounds (n/m, dag
+// depth, per-job all-machines geometric time).
+func LowerBound(x *Instance, opts ...Option) (float64, error) {
+	if err := x.Validate(); err != nil {
+		return 0, err
+	}
+	par := buildParams(opts)
+	cover := x.inner.Prec.MinChainCover()
+	fs, err := core.SolveLP1(x.inner, cover, par.MassTarget)
+	if err != nil {
+		return 0, err
+	}
+	return core.CombinedLowerBound(x.inner, fs.T), nil
+}
+
+func scheduleFromChains(kind, guarantee string, res *core.ChainsResult) *Schedule {
+	return &Schedule{
+		policy:     res.Schedule,
+		Kind:       kind,
+		Guarantee:  guarantee,
+		PrefixLen:  res.Schedule.Len(),
+		CoreLength: res.CoreLength,
+		LPValue:    res.TStar,
+		LowerBound: res.LowerBound,
+	}
+}
+
+func scheduleFromForest(kind, guarantee string, res *core.ForestResult) *Schedule {
+	return &Schedule{
+		policy:     res.Schedule,
+		Kind:       kind,
+		Guarantee:  guarantee,
+		PrefixLen:  res.Schedule.Len(),
+		CoreLength: res.CoreLength,
+		LowerBound: res.LowerBound,
+	}
+}

@@ -1,0 +1,234 @@
+package suu
+
+import (
+	"math"
+	"testing"
+)
+
+func tinyIndependent() *Instance {
+	x := NewInstance(3, 2)
+	x.SetProb(0, 0, 0.9)
+	x.SetProb(0, 1, 0.3)
+	x.SetProb(0, 2, 0.5)
+	x.SetProb(1, 0, 0.2)
+	x.SetProb(1, 1, 0.8)
+	x.SetProb(1, 2, 0.4)
+	return x
+}
+
+func TestInstanceBuilders(t *testing.T) {
+	x := tinyIndependent()
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Jobs() != 3 || x.Machines() != 2 {
+		t.Error("dimensions wrong")
+	}
+	if x.Prob(0, 0) != 0.9 {
+		t.Error("Prob wrong")
+	}
+	if x.Class() != "independent" {
+		t.Errorf("class=%q", x.Class())
+	}
+	if err := x.AddPrecedence(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if x.Class() != "chains" {
+		t.Errorf("class=%q after edge", x.Class())
+	}
+	if x.Width() != 2 || x.Depth() != 2 {
+		t.Errorf("width=%d depth=%d", x.Width(), x.Depth())
+	}
+}
+
+func TestFromMatrix(t *testing.T) {
+	x, err := FromMatrix([][]float64{{0.5, 0.4}, {0.2, 0.9}}, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Jobs() != 2 || x.Machines() != 2 || x.Class() != "chains" {
+		t.Error("FromMatrix shape wrong")
+	}
+	if _, err := FromMatrix(nil, nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := FromMatrix([][]float64{{0.5}, {0.2, 0.9}}, nil); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestSolveDispatch(t *testing.T) {
+	cases := []struct {
+		name     string
+		build    func() *Instance
+		wantKind string
+	}{
+		{"independent", func() *Instance { return tinyIndependent() }, "oblivious-lp (Thm 4.5)"},
+		{"chains", func() *Instance {
+			x := tinyIndependent()
+			x.AddPrecedence(0, 1)
+			return x
+		}, "chains (Thm 4.4)"},
+		{"out-tree", func() *Instance {
+			x := tinyIndependent()
+			x.AddPrecedence(0, 1)
+			x.AddPrecedence(0, 2)
+			return x
+		}, "trees (Thm 4.8)"},
+		{"general", func() *Instance {
+			x := NewInstance(4, 2)
+			for j := 0; j < 4; j++ {
+				x.SetProb(0, j, 0.6)
+				x.SetProb(1, j, 0.4)
+			}
+			x.AddPrecedence(0, 2)
+			x.AddPrecedence(1, 2)
+			x.AddPrecedence(1, 3)
+			x.AddPrecedence(0, 3)
+			return x
+		}, "level-fallback"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x := tc.build()
+			s, err := Solve(x, WithSeed(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Kind != tc.wantKind {
+				t.Errorf("kind=%q, want %q", s.Kind, tc.wantKind)
+			}
+			est, err := s.EstimateMakespan(x, 50)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.Incomplete != 0 {
+				t.Errorf("%d incomplete runs", est.Incomplete)
+			}
+			if est.Mean < 1 {
+				t.Errorf("mean=%v", est.Mean)
+			}
+			if s.LowerBound > 0 && est.Mean < s.LowerBound-1e-9 {
+				t.Errorf("mean %v below certified lower bound %v", est.Mean, s.LowerBound)
+			}
+		})
+	}
+}
+
+func TestAdaptiveAndOblivious(t *testing.T) {
+	x := tinyIndependent()
+	a := Adaptive(x)
+	if !a.Adaptive {
+		t.Error("adaptive flag unset")
+	}
+	estA, err := a.EstimateMakespan(x, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := ObliviousCombinatorial(x, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	estO, err := o.EstimateMakespan(x, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adaptive schedule should not be drastically worse than the
+	// oblivious one on this easy instance.
+	if estA.Mean > 10*estO.Mean+10 {
+		t.Errorf("adaptive %v vastly worse than oblivious %v", estA.Mean, estO.Mean)
+	}
+}
+
+func TestOptimalAndBoundsAgree(t *testing.T) {
+	x := tinyIndependent()
+	s, topt, err := Optimal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.EstimateMakespan(x, 3000, WithSimSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-topt) > 4*est.HalfWidth95+0.1 {
+		t.Errorf("simulated optimal %v far from exact %v", est.Mean, topt)
+	}
+	lb, err := LowerBound(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb > topt+1e-9 {
+		t.Errorf("lower bound %v exceeds exact optimum %v", lb, topt)
+	}
+	// Every solver must beat the lower bound (trivially true) and be
+	// within a sane multiple on a 3-job instance.
+	sol, err := Solve(x, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	estSol, err := sol.EstimateMakespan(x, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estSol.Mean < topt-3*estSol.HalfWidth95-0.2 {
+		t.Errorf("solver mean %v beats exact optimum %v — simulation bug?", estSol.Mean, topt)
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	x := tinyIndependent()
+	for _, b := range []Baseline{BaselineGreedy, BaselineRoundRobin, BaselineAllOnOne, BaselineRandom} {
+		s, err := NewBaseline(x, b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := s.EstimateMakespan(x, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Incomplete != 0 {
+			t.Errorf("%s: incomplete runs", b)
+		}
+	}
+	if _, err := NewBaseline(x, Baseline("nope"), 1); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+}
+
+func TestRunOnceDeterminism(t *testing.T) {
+	x := tinyIndependent()
+	s := Adaptive(x)
+	m1, ok1 := s.RunOnce(x, 42, 100000)
+	m2, ok2 := s.RunOnce(x, 42, 100000)
+	if m1 != m2 || ok1 != ok2 {
+		t.Error("RunOnce not deterministic for equal seeds")
+	}
+}
+
+func TestEstimateStringAndOptions(t *testing.T) {
+	e := Estimate{Mean: 3.5, HalfWidth95: 0.2, Runs: 10}
+	if e.String() == "" {
+		t.Error("empty string")
+	}
+	x := tinyIndependent()
+	s := Adaptive(x)
+	est, err := s.EstimateMakespan(x, 10, WithMaxSteps(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Incomplete == 0 {
+		t.Error("1-step cap should leave runs incomplete")
+	}
+}
+
+func TestMakespanQuantilesAPI(t *testing.T) {
+	x := tinyIndependent()
+	s := Adaptive(x)
+	qs, err := s.MakespanQuantiles(x, 500, []float64{0.5, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[0] > qs[1] {
+		t.Errorf("quantiles %v", qs)
+	}
+}
