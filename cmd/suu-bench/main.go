@@ -1,12 +1,19 @@
 // Command suu-bench regenerates the experiment tables of
 // EXPERIMENTS.md — the empirical validation of every theorem of the
-// paper plus the ablations (see DESIGN.md §6 for the index).
+// paper plus the ablations (see DESIGN.md §6 for the index) — and the
+// simulation-engine throughput record BENCH_sim.json.
 //
 // Usage:
 //
 //	suu-bench                 # run everything (minutes)
 //	suu-bench -quick          # smaller sweeps (tens of seconds)
 //	suu-bench -only T6,A2     # selected experiments
+//	suu-bench -json BENCH_sim.json
+//	                          # also benchmark the sim engine per
+//	                          # workload family and write the JSON
+//	                          # perf record (reps/sec, ns/step,
+//	                          # allocs/rep); CI uploads it so the
+//	                          # perf trajectory accumulates per PR
 //
 // Figure reproductions (F1, F3) live in suu-trace.
 package main
@@ -15,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -23,9 +31,10 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "smaller sweeps and repetition counts")
-		only  = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		seed  = flag.Int64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "smaller sweeps and repetition counts")
+		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		jsonPath = flag.String("json", "", "write engine benchmark results to this file (e.g. BENCH_sim.json)")
 	)
 	flag.Parse()
 	cfg := exp.Config{Quick: *quick, Seed: *seed}
@@ -50,7 +59,24 @@ func main() {
 		fmt.Printf("_%s completed in %.1fs_\n\n", drv.ID, time.Since(start).Seconds())
 		ran++
 	}
-	if ran == 0 {
+	if ran == 0 && *only != "" {
 		log.Fatalf("no experiment matched -only=%q", *only)
+	}
+
+	if *jsonPath != "" {
+		start := time.Now()
+		file := exp.SimBenchmarks(cfg)
+		out, err := exp.WriteSimBenchJSON(file)
+		if err != nil {
+			log.Fatalf("marshal engine benchmarks: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			log.Fatalf("write %s: %v", *jsonPath, err)
+		}
+		for _, s := range file.Skipped {
+			fmt.Fprintf(os.Stderr, "warning: benchmark family skipped: %s\n", s)
+		}
+		fmt.Printf("_engine benchmarks (%d families) written to %s in %.1fs_\n",
+			len(file.Benchmarks), *jsonPath, time.Since(start).Seconds())
 	}
 }

@@ -1,0 +1,3 @@
+module suu
+
+go 1.24

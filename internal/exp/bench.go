@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"suu/internal/core"
+	"suu/internal/model"
+	"suu/internal/sched"
+	"suu/internal/sim"
+	"suu/internal/workload"
+)
+
+// SimBench is one row of BENCH_sim.json: the simulation engine's
+// measured throughput on one workload family. The CI bench-smoke job
+// uploads the file as an artifact so the perf trajectory accumulates
+// across PRs; every future engine change is judged against these
+// numbers.
+type SimBench struct {
+	// Family names the workload (precedence shape and size).
+	Family   string `json:"family"`
+	Jobs     int    `json:"jobs"`
+	Machines int    `json:"machines"`
+	// Policy names the schedule construction simulated.
+	Policy string `json:"policy"`
+	// Engine is "compiled" for the event-wise oblivious fast path,
+	// "generic" for the step engine.
+	Engine string `json:"engine"`
+	Reps   int    `json:"reps"`
+	// RepsPerSec is end-to-end estimator throughput (includes prefix
+	// compilation, amortized over Reps).
+	RepsPerSec float64 `json:"reps_per_sec"`
+	// NsPerStep normalizes wall-clock by simulated machine-steps.
+	NsPerStep float64 `json:"ns_per_step"`
+	// AllocsPerRep is the steady-state allocation count per repetition
+	// (fixed per-call costs cancelled out); 0 is the engine contract.
+	AllocsPerRep float64 `json:"allocs_per_rep"`
+	MeanMakespan float64 `json:"mean_makespan"`
+	// P50 and P99 are makespan quantiles from a single estimation pass.
+	P50 float64 `json:"p50_makespan"`
+	P99 float64 `json:"p99_makespan"`
+}
+
+// SimBenchFile is the BENCH_sim.json document.
+type SimBenchFile struct {
+	Generated  string     `json:"generated"`
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Quick      bool       `json:"quick"`
+	Seed       int64      `json:"seed"`
+	Benchmarks []SimBench `json:"benchmarks"`
+	// Skipped records families whose schedule construction failed, so
+	// a lost row reads as an error instead of silently shrinking the
+	// perf record.
+	Skipped []string `json:"skipped,omitempty"`
+}
+
+// simBenchCase is one workload family of the engine benchmark suite.
+type simBenchCase struct {
+	family string
+	build  func(seed int64) (*model.Instance, sched.Policy, string, error)
+}
+
+func simBenchCases() []simBenchCase {
+	return []simBenchCase{
+		{family: "chains-96x12", build: func(seed int64) (*model.Instance, sched.Policy, string, error) {
+			in := workload.Chains(workload.Config{Jobs: 96, Machines: 12, Seed: seed}, 8)
+			res, err := core.SUUChains(in, paramsWithSeed(seed))
+			if err != nil {
+				return nil, nil, "", err
+			}
+			return in, res.Schedule, "chains (Thm 4.4)", nil
+		}},
+		{family: "independent-64x16", build: func(seed int64) (*model.Instance, sched.Policy, string, error) {
+			in := workload.Independent(workload.Config{Jobs: 64, Machines: 16, Seed: seed})
+			res, err := core.SUUIndependentLP(in, paramsWithSeed(seed))
+			if err != nil {
+				return nil, nil, "", err
+			}
+			return in, res.Schedule, "oblivious-lp (Thm 4.5)", nil
+		}},
+		{family: "outforest-64x8", build: func(seed int64) (*model.Instance, sched.Policy, string, error) {
+			in := workload.OutTree(workload.Config{Jobs: 64, Machines: 8, Seed: seed})
+			res, err := core.SUUForest(in, paramsWithSeed(seed))
+			if err != nil {
+				return nil, nil, "", err
+			}
+			return in, res.Schedule, "trees (Thm 4.8)", nil
+		}},
+		{family: "adaptive-32x8", build: func(seed int64) (*model.Instance, sched.Policy, string, error) {
+			in := workload.Independent(workload.Config{Jobs: 32, Machines: 8, Seed: seed})
+			return in, &core.AdaptivePolicy{In: in}, "adaptive (Thm 3.3)", nil
+		}},
+	}
+}
+
+// SimBenchmarks measures engine throughput on every workload family.
+// Construction happens outside the timed region.
+func SimBenchmarks(cfg Config) SimBenchFile {
+	reps := 2000
+	if cfg.Quick {
+		reps = 400
+	}
+	file := SimBenchFile{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      cfg.Quick,
+		Seed:       cfg.Seed,
+	}
+	for _, bc := range simBenchCases() {
+		in, pol, polName, err := bc.build(cfg.Seed)
+		if err != nil {
+			file.Skipped = append(file.Skipped, fmt.Sprintf("%s: %v", bc.family, err))
+			continue
+		}
+		engine := "generic"
+		if sim.UsesCompiledEngine(in, pol) {
+			engine = "compiled"
+		}
+		caseReps := reps
+		if engine == "generic" {
+			caseReps = reps / 4 // the step engine is the slow path; keep the suite quick
+		}
+		repsPerSec, nsPerStep, mean := measureEngine(in, pol, caseReps, cfg.Seed+43)
+		quants, _ := sim.MakespanQuantiles(in, pol, caseReps/2, 5_000_000, cfg.Seed+47, []float64{0.5, 0.99})
+		file.Benchmarks = append(file.Benchmarks, SimBench{
+			Family:       bc.family,
+			Jobs:         in.N,
+			Machines:     in.M,
+			Policy:       polName,
+			Engine:       engine,
+			Reps:         caseReps,
+			RepsPerSec:   repsPerSec,
+			NsPerStep:    nsPerStep,
+			AllocsPerRep: allocsPerRep(in, pol, cfg.Seed+43),
+			MeanMakespan: mean,
+			P50:          quants[0],
+			P99:          quants[1],
+		})
+	}
+	return file
+}
+
+// allocsPerRep measures steady-state allocations per repetition by
+// differencing two Estimate calls, cancelling the fixed per-call cost
+// (schedule compilation, accumulators, worker state).
+func allocsPerRep(in *model.Instance, pol sched.Policy, seed int64) float64 {
+	const base = 32
+	small := testing.AllocsPerRun(3, func() { sim.Estimate(in, pol, base, 5_000_000, seed) })
+	large := testing.AllocsPerRun(3, func() { sim.Estimate(in, pol, 2*base, 5_000_000, seed) })
+	per := (large - small) / base
+	if per < 0 {
+		per = 0
+	}
+	return per
+}
+
+// WriteSimBenchJSON renders the document with stable indentation.
+func WriteSimBenchJSON(f SimBenchFile) ([]byte, error) {
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

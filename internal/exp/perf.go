@@ -5,20 +5,25 @@ import (
 	"time"
 
 	"suu/internal/core"
+	"suu/internal/model"
+	"suu/internal/sched"
+	"suu/internal/sim"
 	"suu/internal/workload"
 )
 
-// T12 profiles the substrate: simplex size/iterations/time for (LP1)
-// and end-to-end chains-pipeline construction time across instance
-// sizes. Not a paper claim — it documents that the stdlib-only solver
-// stack stays comfortably polynomial at laptop scale (the paper's
-// algorithms are "polynomial time"; this is the measured polynomial).
+// T12 profiles the substrate: simplex size/iterations/time for (LP1),
+// end-to-end chains-pipeline construction time, and simulation-engine
+// throughput (reps/s and ns/step of the Monte Carlo estimator on the
+// constructed schedule) across instance sizes. Not a paper claim — it
+// documents that the stdlib-only solver stack stays comfortably
+// polynomial at laptop scale and tracks the engine's perf trajectory
+// (the same measurement feeds BENCH_sim.json; see SimBenchmarks).
 func T12(cfg Config) *Table {
 	t := &Table{
 		ID:         "T12",
-		Title:      "Substrate performance: LP1 simplex and chains pipeline",
+		Title:      "Substrate performance: LP1 simplex, chains pipeline, sim engine",
 		PaperBound: "polynomial time (the paper's claim); measured here",
-		Header:     []string{"n", "m", "LP vars", "LP rows", "simplex iters", "solve ms", "pipeline ms"},
+		Header:     []string{"n", "m", "LP vars", "LP rows", "simplex iters", "solve ms", "pipeline ms", "sim reps/s", "sim ns/step"},
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 40))
 	type pt struct{ n, m, c int }
@@ -49,14 +54,35 @@ func T12(cfg Config) *Table {
 		}
 		rows := vars + p.n + p.m + p.c // window + mass + load + chain rows
 		start = time.Now()
-		if _, err := core.SUUChains(in, paramsWithSeed(cfg.Seed)); err != nil {
+		built, err := core.SUUChains(in, paramsWithSeed(cfg.Seed))
+		if err != nil {
 			continue
 		}
 		pipeMS := time.Since(start).Milliseconds()
+		simReps := 4 * cfg.reps()
+		repsPerSec, nsPerStep, _ := measureEngine(in, built.Schedule, simReps, cfg.Seed+41)
 		t.Rows = append(t.Rows, []string{
 			d(p.n), d(p.m), d(vars + p.n + 1), d(rows), d(fs.Iterations), d(int(solveMS)), d(int(pipeMS)),
+			d(int(repsPerSec)), f2(nsPerStep),
 		})
 	}
-	t.Notes = "Iterations grow roughly linearly with the row count; everything stays interactive well past the experiment sizes."
+	t.Notes = "Iterations grow roughly linearly with the row count; everything stays interactive well past the experiment sizes. " +
+		"Engine columns measure sim.EstimateParallel on the constructed schedule (ns/step normalizes by realized makespan)."
 	return t
+}
+
+// measureEngine times the Monte Carlo estimator on one (instance,
+// policy) pair, returning throughput in repetitions per wall-clock
+// second, nanoseconds per simulated step (normalized by the mean
+// realized makespan), and the mean makespan itself.
+func measureEngine(in *model.Instance, pol sched.Policy, reps int, seed int64) (repsPerSec, nsPerStep, meanMakespan float64) {
+	start := time.Now()
+	sum, _ := sim.EstimateParallel(in, pol, reps, 5_000_000, seed, 0)
+	elapsed := time.Since(start)
+	repsPerSec = float64(reps) / elapsed.Seconds()
+	totalSteps := sum.Mean * float64(reps)
+	if totalSteps > 0 {
+		nsPerStep = float64(elapsed.Nanoseconds()) / totalSteps
+	}
+	return repsPerSec, nsPerStep, sum.Mean
 }

@@ -45,7 +45,16 @@ func (in *Instance) UnmarshalJSON(data []byte) error {
 	}
 	in.N = raw.Jobs
 	in.M = raw.Machines
-	in.P = raw.P
+	// Copy into the contiguous backing rather than adopting raw.P, so
+	// the flat fast path stays aliased.
+	flat := make([]float64, raw.Machines*raw.Jobs)
+	for i, row := range raw.P {
+		if len(row) != raw.Jobs {
+			return fmt.Errorf("model: p[%d] has %d columns, want %d", i, len(row), raw.Jobs)
+		}
+		copy(flat[i*raw.Jobs:(i+1)*raw.Jobs], row)
+	}
+	in.bindFlat(flat)
 	in.Prec = dag.New(raw.Jobs)
 	for _, e := range raw.Edges {
 		if err := in.Prec.AddEdge(e[0], e[1]); err != nil {

@@ -20,27 +20,83 @@ import (
 // The zero value is not usable; construct instances with New and add
 // precedence edges through the embedded dag, or use the workload
 // package generators.
+//
+// The probability matrix is stored row-major in one contiguous
+// allocation; the P rows are views into it, so P[i][j] reads and
+// writes stay valid while the simulation hot path iterates the flat
+// backing with unit stride (see Flat).
 type Instance struct {
 	// N is the number of jobs, indexed 0..N-1.
 	N int
 	// M is the number of machines, indexed 0..M-1.
 	M int
 	// P[i][j] is the per-step success probability of machine i on job j.
+	// Rows alias the contiguous backing slice; assign entries freely but
+	// prefer SetAt/At when writing new code.
 	P [][]float64
 	// Prec is the precedence dag over jobs. An edge u->v means u must
 	// complete before v becomes eligible.
 	Prec *dag.DAG
+
+	// flat is the row-major backing of P: flat[i*N+j] == P[i][j].
+	flat []float64
 }
 
 // New returns an instance with n jobs, m machines, a zero probability
 // matrix and an empty precedence dag.
 func New(n, m int) *Instance {
-	p := make([][]float64, m)
-	for i := range p {
-		p[i] = make([]float64, n)
-	}
-	return &Instance{N: n, M: m, P: p, Prec: dag.New(n)}
+	in := &Instance{N: n, M: m, Prec: dag.New(n)}
+	in.bindFlat(make([]float64, m*n))
+	return in
 }
+
+// bindFlat installs flat as the backing store and re-slices the P rows
+// as views into it.
+func (in *Instance) bindFlat(flat []float64) {
+	in.flat = flat
+	in.P = make([][]float64, in.M)
+	for i := 0; i < in.M; i++ {
+		in.P[i] = flat[i*in.N : (i+1)*in.N : (i+1)*in.N]
+	}
+}
+
+// aliased reports whether the P rows still view the flat backing (a
+// caller may have reassigned P wholesale).
+func (in *Instance) aliased() bool {
+	if in.N <= 0 || in.M <= 0 || len(in.flat) != in.M*in.N || len(in.P) != in.M {
+		return false
+	}
+	for i := range in.P {
+		if len(in.P[i]) != in.N || &in.P[i][0] != &in.flat[i*in.N] {
+			return false
+		}
+	}
+	return true
+}
+
+// Flat returns the row-major probability matrix: Flat()[i*N+j] ==
+// P[i][j]. The slice aliases the instance; treat it as read-only. If
+// the P rows were replaced wholesale (e.g. a hand-built literal), the
+// backing is rebuilt from the current values first.
+func (in *Instance) Flat() []float64 {
+	if !in.aliased() {
+		flat := make([]float64, in.M*in.N)
+		for i := 0; i < in.M; i++ {
+			copy(flat[i*in.N:(i+1)*in.N], in.P[i])
+		}
+		in.bindFlat(flat)
+	}
+	return in.flat
+}
+
+// At returns P[i][j].
+func (in *Instance) At(i, j int) float64 { return in.P[i][j] }
+
+// SetAt sets P[i][j] = p.
+func (in *Instance) SetAt(i, j int, p float64) { in.P[i][j] = p }
+
+// Row returns machine i's probability row (a view; do not resize).
+func (in *Instance) Row(i int) []float64 { return in.P[i] }
 
 // Clone returns a deep copy of the instance.
 func (in *Instance) Clone() *Instance {

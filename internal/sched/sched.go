@@ -16,6 +16,7 @@ package sched
 
 import (
 	"fmt"
+	"sync"
 
 	"suu/internal/model"
 )
@@ -164,16 +165,28 @@ func (o *Oblivious) Replicate(sigma int) *Oblivious {
 type TopoRoundRobin struct {
 	M     int
 	Order []int
+
+	// cache holds the all-machines-on-Order[k] assignment per order
+	// position, built once so tail steps allocate nothing. Guarded by
+	// once for concurrent simulation workers.
+	once  sync.Once
+	cache []Assignment
 }
 
-// TailAssign implements Tail.
+// TailAssign implements Tail. The returned assignment is shared and
+// must not be modified.
 func (rr *TopoRoundRobin) TailAssign(k int) Assignment {
-	j := rr.Order[k%len(rr.Order)]
-	a := make(Assignment, rr.M)
-	for i := range a {
-		a[i] = j
-	}
-	return a
+	rr.once.Do(func() {
+		rr.cache = make([]Assignment, len(rr.Order))
+		for pos, j := range rr.Order {
+			a := make(Assignment, rr.M)
+			for i := range a {
+				a[i] = j
+			}
+			rr.cache[pos] = a
+		}
+	})
+	return rr.cache[k%len(rr.cache)]
 }
 
 // Regimen is a stationary policy: the assignment depends only on the
@@ -185,6 +198,11 @@ type Regimen struct {
 	N int
 	// F maps the bitmask of unfinished jobs to that state's assignment.
 	F map[uint64]Assignment
+
+	// idle is the shared all-idle fallback for missing states, built
+	// once so lookup misses allocate nothing.
+	idleOnce sync.Once
+	idle     Assignment
 }
 
 // NewRegimen returns an empty regimen for n jobs and m machines.
@@ -206,12 +224,14 @@ func Key(unfinished []bool) uint64 {
 	return k
 }
 
-// Assign implements Policy.
+// Assign implements Policy. The assignment returned for a missing
+// state is shared and must not be modified.
 func (r *Regimen) Assign(st *State) Assignment {
 	if a, ok := r.F[Key(st.Unfinished)]; ok {
 		return a
 	}
-	return NewIdle(r.M)
+	r.idleOnce.Do(func() { r.idle = NewIdle(r.M) })
+	return r.idle
 }
 
 // MassPerJob returns, for each job, the total (uncapped) mass

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"suu/internal/model"
+	"suu/internal/sched"
+)
+
+// Oblivious schedules fix every assignment in advance, which lets the
+// estimator precompile the prefix once per call and then replay it
+// event-wise instead of step-wise. The paper's constructions replicate
+// each assignment Θ(σ) times, so a run spends almost all wall-clock
+// steps on jobs that are already finished or not yet eligible; the
+// step engine still scans all m machines at each of them. The
+// compiled engine instead stores, per job, the sorted list of prefix
+// steps that assign it — with the step's combined success probability
+// and mass precomputed — and walks jobs in topological order: a job's
+// eligibility step is determined by its predecessors' completion
+// steps, and its own completion is sampled with exactly one uniform
+// draw per (eligible, assigned) step, just like the step engine.
+// Work per repetition is proportional to the number of completion
+// trials actually performed, not to makespan × machines.
+//
+// Repetitions that survive the prefix fall back to the generic step
+// engine for the tail, seeded with the state the walk produced.
+type compiledOblivious struct {
+	in        *model.Instance
+	o         *sched.Oblivious
+	prefixLen int
+	topo      []int32
+	// Occurrences grouped by job: job j's assigned prefix steps are
+	// steps[offs[j]:offs[j+1]], ascending. succ is the combined
+	// single-step completion probability 1-Π(1-p_ij) over the machines
+	// assigned that step; mass is the (uncapped) Σ p_ij the step adds.
+	offs  []int32
+	steps []int32
+	succ  []float64
+	mass  []float64
+}
+
+// compileOblivious builds the per-job occurrence lists. Cost is
+// O(prefix × m), paid once per Estimate call and shared read-only by
+// every worker.
+func compileOblivious(in *model.Instance, o *sched.Oblivious) *compiledOblivious {
+	n := in.N
+	order, err := in.Prec.TopoOrder()
+	if err != nil {
+		return nil // cyclic: let the generic engine spin on it
+	}
+	c := &compiledOblivious{in: in, o: o, prefixLen: len(o.Steps)}
+	c.topo = make([]int32, n)
+	for k, j := range order {
+		c.topo[k] = int32(j)
+	}
+	// First pass: count each job's distinct assigned steps.
+	counts := make([]int32, n)
+	last := make([]int32, n)
+	for j := range last {
+		last[j] = -1
+	}
+	for t, a := range o.Steps {
+		for _, j := range a {
+			if j == sched.Idle || j < 0 || j >= n {
+				continue
+			}
+			if last[j] != int32(t) {
+				last[j] = int32(t)
+				counts[j]++
+			}
+		}
+	}
+	c.offs = make([]int32, n+1)
+	for j := 0; j < n; j++ {
+		c.offs[j+1] = c.offs[j] + counts[j]
+	}
+	total := int(c.offs[n])
+	c.steps = make([]int32, total)
+	c.succ = make([]float64, total)
+	c.mass = make([]float64, total)
+	// Second pass: fill, accumulating the fail product per occurrence.
+	next := make([]int32, n)
+	copy(next, c.offs[:n])
+	for j := range last {
+		last[j] = -1
+	}
+	p := in.Flat()
+	for t, a := range o.Steps {
+		for i, j := range a {
+			if j == sched.Idle || j < 0 || j >= n {
+				continue
+			}
+			pv := p[i*n+j]
+			if last[j] != int32(t) {
+				last[j] = int32(t)
+				k := next[j]
+				next[j]++
+				c.steps[k] = int32(t)
+				c.succ[k] = 1 - pv // fail product so far
+				c.mass[k] = pv
+			} else {
+				k := next[j] - 1
+				c.succ[k] *= 1 - pv
+				c.mass[k] += pv
+			}
+		}
+	}
+	// Convert fail products to success probabilities.
+	for k := range c.succ {
+		c.succ[k] = 1 - c.succ[k]
+	}
+	return c
+}
+
+// oblivRunner is one worker's mutable state for the compiled engine.
+type oblivRunner struct {
+	c    *compiledOblivious
+	comp []int32 // completion step per job, -1 while unfinished
+	mass []float64
+	cont *Runner // lazily built generic engine for tail continuations
+}
+
+func (c *compiledOblivious) newRunner() *oblivRunner {
+	return &oblivRunner{
+		c:    c,
+		comp: make([]int32, c.in.N),
+		mass: make([]float64, c.in.N),
+	}
+}
+
+// run simulates one repetition. Draw-for-draw it performs the same
+// completion trials as the step engine, only ordered by job instead
+// of by step, so makespan and mass distributions are identical.
+func (r *oblivRunner) run(maxSteps int, rng Rand) (int, bool) {
+	c := r.c
+	in := c.in
+	cap := c.prefixLen
+	if maxSteps < cap {
+		cap = maxSteps
+	}
+	unfinished := 0
+	maxComp := -1
+	for _, j32 := range c.topo {
+		j := int(j32)
+		r.mass[j] = 0
+		r.comp[j] = -1
+		elig := 0
+		blocked := false
+		for _, pr := range in.Prec.Preds(j) {
+			pc := r.comp[pr]
+			if pc < 0 {
+				blocked = true
+				break
+			}
+			if int(pc)+1 > elig {
+				elig = int(pc) + 1
+			}
+		}
+		if blocked {
+			unfinished++
+			continue
+		}
+		lo, hi := int(c.offs[j]), int(c.offs[j+1])
+		if elig > 0 {
+			// Lower-bound search for the first occurrence >= elig.
+			l, h := lo, hi
+			for l < h {
+				mid := int(uint(l+h) >> 1)
+				if c.steps[mid] < int32(elig) {
+					l = mid + 1
+				} else {
+					h = mid
+				}
+			}
+			lo = l
+		}
+		done := false
+		for k := lo; k < hi; k++ {
+			t := int(c.steps[k])
+			if t >= cap {
+				break
+			}
+			r.mass[j] += c.mass[k]
+			if rng.Float64() < c.succ[k] {
+				r.comp[j] = int32(t)
+				if t > maxComp {
+					maxComp = t
+				}
+				done = true
+				break
+			}
+		}
+		if !done {
+			unfinished++
+		}
+	}
+	if unfinished == 0 {
+		return maxComp + 1, true
+	}
+	if maxSteps <= c.prefixLen {
+		return maxSteps, false
+	}
+	return r.continueTail(unfinished, maxSteps, rng)
+}
+
+// continueTail seeds the generic step engine with the post-prefix
+// state and runs it to the cap.
+func (r *oblivRunner) continueTail(unfinished, maxSteps int, rng Rand) (int, bool) {
+	c := r.c
+	if r.cont == nil {
+		r.cont = NewRunner(c.in, c.o)
+	}
+	rs := r.cont.rs
+	n := rs.n
+	for j := 0; j < n; j++ {
+		unf := r.comp[j] < 0
+		rs.unfinished[j] = unf
+		rs.mass[j] = r.mass[j]
+		rs.fail[j] = 0
+		left := 0
+		for _, pr := range c.in.Prec.Preds(j) {
+			if r.comp[pr] < 0 {
+				left++
+			}
+		}
+		rs.predsLeft[j] = left
+		rs.eligible[j] = unf && left == 0
+	}
+	rs.remaining = unfinished
+	makespan, completed := rs.runFrom(c.o, c.prefixLen, maxSteps, rng)
+	copy(r.mass, rs.mass)
+	return makespan, completed
+}
+
+func (r *oblivRunner) massView() []float64 { return r.mass }

@@ -1,66 +1,46 @@
 package sim
 
 import (
-	"math/rand"
 	"runtime"
-	"sync"
 
 	"suu/internal/model"
 	"suu/internal/sched"
 	"suu/internal/stats"
 )
 
-// EstimateParallel is Estimate fanned out over GOMAXPROCS workers.
-// Each repetition derives its RNG from (seed, rep) exactly as the
-// sequential version does, so the returned summary is byte-identical
-// to Estimate's regardless of scheduling — parallelism changes only
-// wall-clock time.
+// Parallelizable reports whether EstimateParallel can fan pol out
+// across workers. Policies that implement sched.OutcomeObserver carry
+// mutable per-run state fed back by the simulator, so their
+// repetitions must run sequentially; everything else (oblivious
+// schedules, regimens, stateless adaptive policies) is safe to share
+// read-only across workers.
+func Parallelizable(pol sched.Policy) bool {
+	_, observes := pol.(sched.OutcomeObserver)
+	return !observes
+}
+
+// EstimateParallel is Estimate fanned out over workers. Each
+// repetition derives its RNG stream from (seed, rep) exactly as the
+// sequential version does, and per-chunk aggregates merge in a fixed
+// order, so the returned summary is bit-identical to Estimate's
+// regardless of scheduling — parallelism changes only wall-clock
+// time.
 //
-// The policy is shared across workers; oblivious schedules and
-// regimens are read-only and safe. Policies with mutable state
-// (learning policies) must use the sequential Estimate — pass
-// concurrency 1 or call Estimate directly. concurrency <= 0 selects
-// GOMAXPROCS.
+// The policy is shared across workers, which requires
+// Parallelizable(pol); when it is false (the policy observes
+// outcomes), EstimateParallel IGNORES the concurrency argument and
+// falls back to the sequential path — identical results, no fan-out.
+// Call Parallelizable first when the silent loss of parallelism
+// matters. concurrency <= 0 selects GOMAXPROCS.
 func EstimateParallel(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int64, concurrency int) (stats.Summary, int) {
 	if reps <= 0 {
 		panic("sim: reps must be positive")
 	}
-	if _, stateful := pol.(sched.OutcomeObserver); stateful || concurrency == 1 {
-		// Stateful policies cannot run concurrently; fall back.
+	if !Parallelizable(pol) || concurrency == 1 {
 		return Estimate(in, pol, reps, maxSteps, seed)
 	}
 	if concurrency <= 0 {
 		concurrency = runtime.GOMAXPROCS(0)
 	}
-	if concurrency > reps {
-		concurrency = reps
-	}
-	xs := make([]float64, reps)
-	incompletes := make([]int, concurrency)
-	var wg sync.WaitGroup
-	next := make(chan int, reps)
-	for r := 0; r < reps; r++ {
-		next <- r
-	}
-	close(next)
-	for w := 0; w < concurrency; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for r := range next {
-				rng := rand.New(rand.NewSource(seed + int64(r)*1_000_003))
-				res := Run(in, pol, maxSteps, rng)
-				if !res.Completed {
-					incompletes[w]++
-				}
-				xs[r] = float64(res.Makespan)
-			}
-		}(w)
-	}
-	wg.Wait()
-	incomplete := 0
-	for _, c := range incompletes {
-		incomplete += c
-	}
-	return stats.Summarize(xs), incomplete
+	return estimateChunked(in, pol, reps, maxSteps, seed, concurrency)
 }

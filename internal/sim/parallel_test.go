@@ -38,16 +38,28 @@ func TestEstimateParallelMatchesSequential(t *testing.T) {
 }
 
 func TestEstimateParallelStatefulFallsBack(t *testing.T) {
-	in, _ := parallelFixture()
+	in, pol0 := parallelFixture()
 	// A policy implementing OutcomeObserver must run sequentially and
-	// still produce a result.
+	// still produce a result; Parallelizable announces the fallback.
 	pol := &observingPolicy{m: in.M}
-	sum, _ := EstimateParallel(in, pol, 50, 100000, 1, 4)
+	if Parallelizable(pol) {
+		t.Error("observing policy reported parallelizable")
+	}
+	if !Parallelizable(pol0) {
+		t.Error("oblivious schedule reported non-parallelizable")
+	}
+	sum, inc := EstimateParallel(in, pol, 50, 100000, 1, 4)
 	if sum.N != 50 {
 		t.Fatalf("runs %d", sum.N)
 	}
 	if pol.observed == 0 {
 		t.Error("observer never called")
+	}
+	// The fallback must be exactly the sequential path.
+	pol2 := &observingPolicy{m: in.M}
+	seq, seqInc := Estimate(in, pol2, 50, 100000, 1)
+	if sum != seq || inc != seqInc {
+		t.Errorf("fallback %+v/%d differs from sequential %+v/%d", sum, inc, seq, seqInc)
 	}
 }
 

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"math/rand"
-
 	"suu/internal/model"
 	"suu/internal/sched"
 	"suu/internal/stats"
@@ -12,15 +10,22 @@ import (
 // quantiles of the realized makespan distribution (e.g. 0.5, 0.9,
 // 0.99) along with the sample itself. Tail quantiles matter for the
 // project-management story: a manager cares about the deadline she can
-// promise with 95% confidence, not only the mean.
+// promise with 95% confidence, not only the mean. The sample is
+// materialized because it is part of the return value; callers that
+// only need an estimate at scale can feed a stats.P2Quantile instead.
+// Repetition r draws from the same (seed, r) stream as Estimate.
 func MakespanQuantiles(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int64, qs []float64) ([]float64, []float64) {
 	if reps <= 0 {
 		panic("sim: reps must be positive")
 	}
+	est := newEstimator(in, pol)
+	w := est.newWorker()
+	var rng Stream
 	xs := make([]float64, reps)
 	for r := 0; r < reps; r++ {
-		rng := rand.New(rand.NewSource(seed + int64(r)*1_000_003))
-		xs[r] = float64(Run(in, pol, maxSteps, rng).Makespan)
+		rng.Reseed(seed, int64(r))
+		makespan, _ := w.run(maxSteps, &rng)
+		xs[r] = float64(makespan)
 	}
 	out := make([]float64, len(qs))
 	for k, q := range qs {

@@ -1,0 +1,49 @@
+package sim
+
+// Rand is the randomness the engine draws on: one uniform in [0,1)
+// per completion trial. *math/rand.Rand satisfies it, as does Stream.
+type Rand interface {
+	Float64() float64
+}
+
+// Stream is a SplitMix64 generator. The state is a counter, so a
+// (seed, rep) pair maps to a stream by positioning the counter; every
+// output passes through the full 64-bit finalizer, decorrelating
+// nearby reps. Reseeding is two multiplies — no allocation, unlike
+// rand.New — which is what lets the estimators derive an independent
+// stream per repetition for free.
+//
+// Both Estimate and EstimateParallel derive the rep-r stream as
+// Reseed(seed, r), so a repetition's draws are identical whether it
+// runs sequentially or on any worker of any fan-out. Pair a Stream
+// with a Runner to reproduce any single repetition in isolation.
+type Stream struct {
+	s uint64
+}
+
+// NewStream returns a stream positioned at (seed, 0).
+func NewStream(seed int64) *Stream {
+	s := &Stream{}
+	s.Reseed(seed, 0)
+	return s
+}
+
+// Reseed positions the stream for repetition rep of the run seeded
+// with seed.
+func (s *Stream) Reseed(seed, rep int64) {
+	s.s = uint64(seed)*0x9E3779B97F4A7C15 + uint64(rep)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Stream) Uint64() uint64 {
+	s.s += 0x9E3779B97F4A7C15
+	z := s.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0,1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}

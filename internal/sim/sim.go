@@ -3,6 +3,25 @@
 // completions, eligibility under the precedence dag, and per-job mass
 // accumulation (Definition 2.4), plus estimators that aggregate many
 // runs into makespan summaries.
+//
+// # Engine architecture
+//
+// Two engines share one semantics. The generic step engine (runState)
+// advances one step at a time, asking the policy for an assignment
+// and drawing one uniform per (eligible, assigned) job per step; all
+// per-run buffers live in a reusable runState, so the step loop is
+// allocation-free. When the policy is a *sched.Oblivious, the
+// estimators compile its prefix once into per-job occurrence lists
+// and replay repetitions event-wise (see oblivious.go), falling back
+// to the step engine for any repetition that outlives the prefix.
+//
+// Estimators derive repetition r's RNG stream from (seed, r) with a
+// SplitMix64 reseed (see rng.go) and aggregate makespans into
+// fixed-size chunks of streaming stats.Accumulator values that merge
+// in chunk order. Chunk boundaries depend only on the repetition
+// count, so Estimate and EstimateParallel return bit-identical
+// summaries at every concurrency, while memory stays O(reps/chunk)
+// instead of O(reps).
 package sim
 
 import (
@@ -27,99 +46,157 @@ type Result struct {
 
 // Run executes policy pol on instance in for at most maxSteps steps
 // using rng for completion draws. Machines assigned to ineligible or
-// finished jobs idle for the step, per Definition 2.1.
+// finished jobs idle for the step, per Definition 2.1. For repeated
+// runs, prefer a Runner (buffer reuse) or the estimators below.
 func Run(in *model.Instance, pol sched.Policy, maxSteps int, rng *rand.Rand) Result {
-	n, m := in.N, in.M
-	unfinished := make([]bool, n)
-	eligible := make([]bool, n)
-	predsLeft := make([]int, n)
-	for j := 0; j < n; j++ {
-		unfinished[j] = true
-		predsLeft[j] = in.Prec.InDeg(j)
-		eligible[j] = predsLeft[j] == 0
-	}
-	remaining := n
-	mass := make([]float64, n)
-	fail := make([]float64, n)
-	touched := make([]int, 0, m)
-	st := &sched.State{Unfinished: unfinished, Eligible: eligible}
-	observer, _ := pol.(sched.OutcomeObserver)
-	completed := make([]bool, n)
-	effective := make(sched.Assignment, m)
-
-	for t := 0; t < maxSteps && remaining > 0; t++ {
-		st.Step = t
-		a := pol.Assign(st)
-		touched = touched[:0]
-		if observer != nil {
-			for j := range completed {
-				completed[j] = false
-			}
-			for i := range effective {
-				effective[i] = sched.Idle
-			}
-		}
-		for i := 0; i < m; i++ {
-			j := a[i]
-			if j == sched.Idle || j < 0 || j >= n || !eligible[j] {
-				continue
-			}
-			if observer != nil {
-				effective[i] = j
-			}
-			if fail[j] == 0 {
-				fail[j] = 1
-				touched = append(touched, j)
-			}
-			fail[j] *= 1 - in.P[i][j]
-			mass[j] += in.P[i][j]
-		}
-		for _, j := range touched {
-			if rng.Float64() < 1-fail[j] {
-				unfinished[j] = false
-				eligible[j] = false
-				if observer != nil {
-					completed[j] = true
-				}
-				remaining--
-				for _, s := range in.Prec.Succs(j) {
-					predsLeft[s]--
-					if predsLeft[s] == 0 && unfinished[s] {
-						eligible[s] = true
-					}
-				}
-			}
-			fail[j] = 0
-		}
-		if observer != nil {
-			observer.Observe(effective, completed)
-		}
-		if remaining == 0 {
-			return Result{Makespan: t + 1, Completed: true, Mass: mass}
-		}
-	}
-	return Result{Makespan: maxSteps, Completed: remaining == 0, Mass: mass}
+	r := NewRunner(in, pol)
+	makespan, completed := r.Run(maxSteps, rng)
+	mass := make([]float64, in.N)
+	copy(mass, r.Mass())
+	return Result{Makespan: makespan, Completed: completed, Mass: mass}
 }
 
-// Estimate runs reps independent executions (seeded deterministically
-// from seed) and returns the summary of observed makespans together
-// with the number of runs that hit the step cap without completing.
-func Estimate(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int64) (stats.Summary, int) {
+// repRunner is one worker's engine: run executes a repetition, mass
+// exposes the per-job mass of the latest repetition as a view.
+type repRunner interface {
+	run(maxSteps int, rng Rand) (makespan int, completed bool)
+	massView() []float64
+}
+
+// run adapts Runner to repRunner.
+func (r *Runner) run(maxSteps int, rng Rand) (int, bool) { return r.Run(maxSteps, rng) }
+
+func (r *Runner) massView() []float64 { return r.rs.mass }
+
+// estimator selects and shares the engine for one estimation call:
+// the compiled event engine for oblivious policies, the generic step
+// engine otherwise. The compiled form is immutable and shared by all
+// workers; each worker gets its own mutable runner.
+type estimator struct {
+	in       *model.Instance
+	pol      sched.Policy
+	compiled *compiledOblivious
+}
+
+// UsesCompiledEngine reports whether the estimators will run pol on
+// in with the compiled oblivious engine rather than the generic step
+// engine: an oblivious schedule with a non-empty prefix, no outcome
+// observation, and an acyclic instance. Exported so reporting code
+// (BENCH_sim.json) attributes measurements to the engine that
+// actually ran.
+func UsesCompiledEngine(in *model.Instance, pol sched.Policy) bool {
+	o, ok := pol.(*sched.Oblivious)
+	if !ok || len(o.Steps) == 0 || !Parallelizable(pol) {
+		return false
+	}
+	_, err := in.Prec.TopoOrder()
+	return err == nil
+}
+
+func newEstimator(in *model.Instance, pol sched.Policy) *estimator {
+	e := &estimator{in: in, pol: pol}
+	// Resolve the flat backing once, on this goroutine: workers read
+	// it concurrently via newRunState, and Instance.Flat rebuilds
+	// lazily when the rows were replaced wholesale.
+	in.Flat()
+	if UsesCompiledEngine(in, pol) {
+		e.compiled = compileOblivious(in, pol.(*sched.Oblivious))
+	}
+	return e
+}
+
+func (e *estimator) newWorker() repRunner {
+	if e.compiled != nil {
+		return e.compiled.newRunner()
+	}
+	return NewRunner(e.in, e.pol)
+}
+
+// estimateChunk is the number of repetitions aggregated into one
+// streaming accumulator. Chunks are the unit of work distribution and
+// of deterministic merging; the value trades scheduling granularity
+// against the O(reps/estimateChunk) slice of accumulators.
+const estimateChunk = 256
+
+// estimateChunked runs reps repetitions on the given number of
+// workers. Repetition r draws from stream (seed, r) and lands in
+// accumulator r/estimateChunk regardless of which worker ran it, and
+// chunks merge in index order, so the result is bit-identical for
+// every worker count.
+func estimateChunked(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int64, workers int) (stats.Summary, int) {
 	if reps <= 0 {
 		panic("sim: reps must be positive")
 	}
-	xs := make([]float64, 0, reps)
-	incomplete := 0
-	for r := 0; r < reps; r++ {
-		rng := rand.New(rand.NewSource(seed + int64(r)*1_000_003))
-		res := Run(in, pol, maxSteps, rng)
-		if !res.Completed {
-			incomplete++
+	est := newEstimator(in, pol)
+	nchunks := (reps + estimateChunk - 1) / estimateChunk
+	accs := make([]stats.Accumulator, nchunks)
+	incs := make([]int, nchunks)
+	runChunk := func(w repRunner, rng *Stream, c int) {
+		lo, hi := c*estimateChunk, (c+1)*estimateChunk
+		if hi > reps {
+			hi = reps
 		}
-		xs = append(xs, float64(res.Makespan))
+		acc := &accs[c]
+		for r := lo; r < hi; r++ {
+			rng.Reseed(seed, int64(r))
+			makespan, completed := w.run(maxSteps, rng)
+			acc.Add(float64(makespan))
+			if !completed {
+				incs[c]++
+			}
+		}
 	}
-	return stats.Summarize(xs), incomplete
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers <= 1 {
+		w := est.newWorker()
+		var rng Stream
+		for c := 0; c < nchunks; c++ {
+			runChunk(w, &rng, c)
+		}
+	} else {
+		next := make(chan int)
+		done := make(chan struct{})
+		for g := 0; g < workers; g++ {
+			go func() {
+				defer func() { done <- struct{}{} }()
+				w := est.newWorker()
+				var rng Stream
+				for c := range next {
+					runChunk(w, &rng, c)
+				}
+			}()
+		}
+		for c := 0; c < nchunks; c++ {
+			next <- c
+		}
+		close(next)
+		for g := 0; g < workers; g++ {
+			<-done
+		}
+	}
+	var total stats.Accumulator
+	incomplete := 0
+	for c := range accs {
+		total.Merge(accs[c])
+		incomplete += incs[c]
+	}
+	return total.Summary(), incomplete
 }
+
+// Estimate runs reps independent executions (repetition r's RNG
+// stream is derived deterministically from (seed, r)) and returns the
+// summary of observed makespans together with the number of runs that
+// hit the step cap without completing. Aggregation is streaming: the
+// full sample is never materialized.
+func Estimate(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int64) (stats.Summary, int) {
+	return estimateChunked(in, pol, reps, maxSteps, seed, 1)
+}
+
+// massSeedSalt decorrelates MassWithinHorizon's streams from
+// Estimate's when both are called with the same seed.
+const massSeedSalt = 0x6D617373 // "mass"
 
 // MassWithinHorizon runs reps executions of pol truncated at horizon
 // steps and returns, for job j, the fraction of runs in which j
@@ -127,10 +204,13 @@ func Estimate(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int
 // empirically.
 func MassWithinHorizon(in *model.Instance, pol sched.Policy, horizon, reps int, threshold float64, seed int64) []float64 {
 	counts := make([]float64, in.N)
+	est := newEstimator(in, pol)
+	w := est.newWorker()
+	var rng Stream
 	for r := 0; r < reps; r++ {
-		rng := rand.New(rand.NewSource(seed + int64(r)*7_777_777))
-		res := Run(in, pol, horizon, rng)
-		for j, mss := range res.Mass {
+		rng.Reseed(seed^massSeedSalt, int64(r))
+		w.run(horizon, &rng)
+		for j, mss := range w.massView() {
 			if mss >= threshold-1e-12 {
 				counts[j]++
 			}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"suu/internal/model"
+	"suu/internal/sched"
+)
+
+// runState holds every buffer one simulation needs, allocated once
+// and reset per repetition, so the step loop itself performs zero
+// allocations. Each worker of EstimateParallel owns one.
+type runState struct {
+	in   *model.Instance
+	p    []float64 // flat row-major probabilities: p[i*n+j]
+	n, m int
+
+	unfinished []bool
+	eligible   []bool
+	predsLeft  []int
+	mass       []float64
+	fail       []float64
+	touched    []int
+	remaining  int
+
+	st sched.State
+
+	// Observer support, allocated only when the policy observes.
+	observer  sched.OutcomeObserver
+	completed []bool
+	effective sched.Assignment
+}
+
+func newRunState(in *model.Instance, pol sched.Policy) *runState {
+	rs := &runState{
+		in:         in,
+		p:          in.Flat(),
+		n:          in.N,
+		m:          in.M,
+		unfinished: make([]bool, in.N),
+		eligible:   make([]bool, in.N),
+		predsLeft:  make([]int, in.N),
+		mass:       make([]float64, in.N),
+		fail:       make([]float64, in.N),
+		touched:    make([]int, 0, in.M),
+	}
+	rs.st = sched.State{Unfinished: rs.unfinished, Eligible: rs.eligible}
+	if obs, ok := pol.(sched.OutcomeObserver); ok {
+		rs.observer = obs
+		rs.completed = make([]bool, in.N)
+		rs.effective = make(sched.Assignment, in.M)
+	}
+	return rs
+}
+
+// reset restores the pristine state: every job unfinished, roots
+// eligible, masses zero.
+func (rs *runState) reset() {
+	for j := 0; j < rs.n; j++ {
+		rs.unfinished[j] = true
+		rs.predsLeft[j] = rs.in.Prec.InDeg(j)
+		rs.eligible[j] = rs.predsLeft[j] == 0
+		rs.mass[j] = 0
+		rs.fail[j] = 0
+	}
+	rs.remaining = rs.n
+}
+
+// runFrom executes pol from step t0 (exclusive of any earlier steps;
+// the caller has already seeded unfinished/eligible/predsLeft/mass/
+// remaining) until the step cap or completion. It returns the
+// makespan — the 1-based index of the step that completed the last
+// job, or maxSteps when the cap was hit — and whether every job
+// finished. The loop body allocates nothing; any allocation comes
+// from the policy's Assign.
+func (rs *runState) runFrom(pol sched.Policy, t0, maxSteps int, rng Rand) (int, bool) {
+	n, m, p := rs.n, rs.m, rs.p
+	eligible, fail, mass := rs.eligible, rs.fail, rs.mass
+	for t := t0; t < maxSteps && rs.remaining > 0; t++ {
+		rs.st.Step = t
+		a := pol.Assign(&rs.st)
+		rs.touched = rs.touched[:0]
+		if rs.observer != nil {
+			for j := range rs.completed {
+				rs.completed[j] = false
+			}
+			for i := range rs.effective {
+				rs.effective[i] = sched.Idle
+			}
+		}
+		for i := 0; i < m; i++ {
+			j := a[i]
+			if j == sched.Idle || j < 0 || j >= n || !eligible[j] {
+				continue
+			}
+			if rs.observer != nil {
+				rs.effective[i] = j
+			}
+			if fail[j] == 0 {
+				fail[j] = 1
+				rs.touched = append(rs.touched, j)
+			}
+			pv := p[i*n+j]
+			fail[j] *= 1 - pv
+			mass[j] += pv
+		}
+		for _, j := range rs.touched {
+			if rng.Float64() < 1-fail[j] {
+				rs.unfinished[j] = false
+				eligible[j] = false
+				if rs.observer != nil {
+					rs.completed[j] = true
+				}
+				rs.remaining--
+				for _, s := range rs.in.Prec.Succs(j) {
+					rs.predsLeft[s]--
+					if rs.predsLeft[s] == 0 && rs.unfinished[s] {
+						eligible[s] = true
+					}
+				}
+			}
+			fail[j] = 0
+		}
+		if rs.observer != nil {
+			rs.observer.Observe(rs.effective, rs.completed)
+		}
+		if rs.remaining == 0 {
+			return t + 1, true
+		}
+	}
+	return maxSteps, rs.remaining == 0
+}
+
+// Runner executes many simulations of one policy on one instance,
+// reusing every buffer across runs. It is the allocation-free core
+// that Estimate and EstimateParallel build on; use it directly when
+// driving repetitions with custom per-run logic.
+//
+// A Runner is not safe for concurrent use; give each goroutine its
+// own.
+type Runner struct {
+	rs  *runState
+	pol sched.Policy
+}
+
+// NewRunner returns a runner for pol on in.
+func NewRunner(in *model.Instance, pol sched.Policy) *Runner {
+	return &Runner{rs: newRunState(in, pol), pol: pol}
+}
+
+// Run executes one simulation of at most maxSteps steps, returning
+// the makespan and whether every job completed. The step loop
+// performs zero heap allocations (given an allocation-free policy).
+func (r *Runner) Run(maxSteps int, rng Rand) (makespan int, completed bool) {
+	r.rs.reset()
+	return r.rs.runFrom(r.pol, 0, maxSteps, rng)
+}
+
+// Mass returns the per-job mass accumulated by the most recent Run.
+// The slice is a view into the runner's buffer: valid until the next
+// Run, and must not be modified.
+func (r *Runner) Mass() []float64 { return r.rs.mass }

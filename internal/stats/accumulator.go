@@ -1,0 +1,192 @@
+package stats
+
+import "math"
+
+// Accumulator aggregates a sample in one pass with O(1) memory using
+// Welford's algorithm for the mean and variance. Accumulators over
+// disjoint sub-samples merge exactly (Chan et al.), so the simulator
+// can aggregate per-chunk and combine in a fixed order, making the
+// merged result independent of how chunks were scheduled across
+// workers. The zero value is ready to use.
+type Accumulator struct {
+	n    int64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.mean, a.min, a.max = x, x, x
+		a.m2 = 0
+		return
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+	if x < a.min {
+		a.min = x
+	}
+	if x > a.max {
+		a.max = x
+	}
+}
+
+// Merge folds accumulator b into a, as if every observation of b had
+// been Added to a (up to the usual floating-point reassociation).
+// Merging the same sequence of accumulators in the same order is
+// bit-for-bit deterministic.
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.mean += d * float64(b.n) / float64(n)
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.n = n
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}
+
+// N returns the number of observations folded in so far.
+func (a *Accumulator) N() int { return int(a.n) }
+
+// Summary converts the accumulated moments into the same Summary that
+// Summarize would produce on the materialized sample (up to
+// floating-point rounding). Panics on an empty accumulator, matching
+// Summarize on an empty slice.
+func (a *Accumulator) Summary() Summary {
+	if a.n == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: int(a.n), Mean: a.mean, Min: a.min, Max: a.max}
+	if a.n > 1 {
+		s.StdDev = math.Sqrt(a.m2 / float64(a.n-1))
+		s.HalfWidth95 = 1.96 * s.StdDev / math.Sqrt(float64(a.n))
+	}
+	return s
+}
+
+// P2Quantile estimates a single quantile of a stream in O(1) memory
+// with the P² algorithm (Jain & Chlamtac 1985): five markers tracking
+// the minimum, the target quantile, the two midpoints and the maximum,
+// adjusted by piecewise-parabolic interpolation as observations
+// arrive. Accuracy is typically well under a percent of the spread for
+// the unimodal makespan distributions the simulator produces; use
+// stats.Quantile on a materialized sample when exactness matters.
+type P2Quantile struct {
+	q       float64
+	n       int
+	heights [5]float64
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	inc     [5]float64 // desired position increments per observation
+}
+
+// NewP2Quantile returns an estimator for the q-quantile, 0 < q < 1.
+func NewP2Quantile(q float64) *P2Quantile {
+	if q <= 0 || q >= 1 {
+		panic("stats: P² quantile must be in (0,1)")
+	}
+	p := &P2Quantile{q: q}
+	p.pos = [5]float64{1, 2, 3, 4, 5}
+	p.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p
+}
+
+// Add folds one observation into the estimator.
+func (p *P2Quantile) Add(x float64) {
+	if p.n < 5 {
+		p.heights[p.n] = x
+		p.n++
+		if p.n == 5 {
+			// Insertion sort of the first five observations.
+			h := p.heights[:]
+			for i := 1; i < 5; i++ {
+				for k := i; k > 0 && h[k-1] > h[k]; k-- {
+					h[k-1], h[k] = h[k], h[k-1]
+				}
+			}
+		}
+		return
+	}
+	p.n++
+	// Locate the cell containing x and bump extreme markers.
+	var cell int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		cell = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		cell = 3
+	default:
+		for cell = 0; cell < 3; cell++ {
+			if x < p.heights[cell+1] {
+				break
+			}
+		}
+	}
+	for i := cell + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.want {
+		p.want[i] += p.inc[i]
+	}
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			h := p.parabolic(i, s)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, s)
+			}
+			p.pos[i] += s
+		}
+	}
+}
+
+func (p *P2Quantile) parabolic(i int, s float64) float64 {
+	q, n := p.heights, p.pos
+	return q[i] + s/(n[i+1]-n[i-1])*((n[i]-n[i-1]+s)*(q[i+1]-q[i])/(n[i+1]-n[i])+
+		(n[i+1]-n[i]-s)*(q[i]-q[i-1])/(n[i]-n[i-1]))
+}
+
+func (p *P2Quantile) linear(i int, s float64) float64 {
+	return p.heights[i] + s*(p.heights[i+int(s)]-p.heights[i])/(p.pos[i+int(s)]-p.pos[i])
+}
+
+// N returns the number of observations folded in so far.
+func (p *P2Quantile) N() int { return p.n }
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact quantile of the buffer.
+func (p *P2Quantile) Value() float64 {
+	if p.n == 0 {
+		panic("stats: empty sample")
+	}
+	if p.n < 5 {
+		buf := append([]float64(nil), p.heights[:p.n]...)
+		return Quantile(buf, p.q)
+	}
+	return p.heights[2]
+}

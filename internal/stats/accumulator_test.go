@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10000)
+	var acc Accumulator
+	for i := range xs {
+		xs[i] = 100 + 50*rng.NormFloat64()
+		acc.Add(xs[i])
+	}
+	want := Summarize(xs)
+	got := acc.Summary()
+	if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+	if !almostEq(got.Mean, want.Mean, 1e-9) {
+		t.Errorf("mean %v vs %v", got.Mean, want.Mean)
+	}
+	if !almostEq(got.StdDev, want.StdDev, 1e-7) {
+		t.Errorf("stddev %v vs %v", got.StdDev, want.StdDev)
+	}
+	if !almostEq(got.HalfWidth95, want.HalfWidth95, 1e-7) {
+		t.Errorf("hw95 %v vs %v", got.HalfWidth95, want.HalfWidth95)
+	}
+}
+
+func TestAccumulatorMergeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	// Chunked accumulation merged in order must not depend on how many
+	// chunks each "worker" handled — only on the chunk boundaries.
+	merge := func(chunk int) Summary {
+		var accs []Accumulator
+		for lo := 0; lo < len(xs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(xs) {
+				hi = len(xs)
+			}
+			var a Accumulator
+			for _, x := range xs[lo:hi] {
+				a.Add(x)
+			}
+			accs = append(accs, a)
+		}
+		var total Accumulator
+		for _, a := range accs {
+			total.Merge(a)
+		}
+		return total.Summary()
+	}
+	a, b := merge(256), merge(256)
+	if a != b {
+		t.Fatalf("same chunking, different summaries: %+v vs %+v", a, b)
+	}
+	// And any chunking agrees with the exact two-pass answer within
+	// floating-point noise.
+	want := Summarize(xs)
+	for _, chunk := range []int{64, 256, 1024, len(xs)} {
+		got := merge(chunk)
+		if got.N != want.N || got.Min != want.Min || got.Max != want.Max ||
+			!almostEq(got.Mean, want.Mean, 1e-12) || !almostEq(got.StdDev, want.StdDev, 1e-9) {
+			t.Errorf("chunk %d: %+v vs %+v", chunk, got, want)
+		}
+	}
+}
+
+func TestAccumulatorSingleAndEmpty(t *testing.T) {
+	var a Accumulator
+	a.Add(7)
+	s := a.Summary()
+	if s.N != 1 || s.Mean != 7 || s.Min != 7 || s.Max != 7 || s.StdDev != 0 {
+		t.Fatalf("%+v", s)
+	}
+	var empty Accumulator
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on empty accumulator")
+		}
+	}()
+	empty.Summary()
+}
+
+func TestP2QuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		est := NewP2Quantile(q)
+		xs := make([]float64, 50000)
+		for i := range xs {
+			xs[i] = 1000 + 200*rng.NormFloat64()
+			est.Add(xs[i])
+		}
+		exact := Quantile(xs, q)
+		if math.Abs(est.Value()-exact) > 10 { // 5% of one stddev
+			t.Errorf("q=%v: P² %v vs exact %v", q, est.Value(), exact)
+		}
+	}
+}
+
+func TestP2QuantileSmallSamples(t *testing.T) {
+	est := NewP2Quantile(0.5)
+	for _, x := range []float64{3, 1, 2} {
+		est.Add(x)
+	}
+	if est.Value() != 2 {
+		t.Errorf("median of {1,2,3} = %v", est.Value())
+	}
+	if est.N() != 3 {
+		t.Errorf("n=%d", est.N())
+	}
+}
