@@ -8,12 +8,16 @@
 //	suu-bench                 # run everything (minutes)
 //	suu-bench -quick          # smaller sweeps (tens of seconds)
 //	suu-bench -only T6,A2     # selected experiments
+//	suu-bench -workers 1      # force the sequential harness
+//	                          # (default 0 = one worker per CPU; the
+//	                          # tables are bit-identical either way)
 //	suu-bench -json BENCH_sim.json
 //	                          # also benchmark the sim engine per
-//	                          # workload family and write the JSON
-//	                          # perf record (reps/sec, ns/step,
-//	                          # allocs/rep); CI uploads it so the
-//	                          # perf trajectory accumulates per PR
+//	                          # workload family, per-solver
+//	                          # construction cost, and grid-harness
+//	                          # throughput, and write the JSON perf
+//	                          # record; CI uploads it so the perf
+//	                          # trajectory accumulates per PR
 //
 // Figure reproductions (F1, F3) live in suu-trace.
 package main
@@ -34,10 +38,11 @@ func main() {
 		quick    = flag.Bool("quick", false, "smaller sweeps and repetition counts")
 		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "grid-harness worker pool size (0 = GOMAXPROCS, 1 = sequential; tables are identical at any value)")
 		jsonPath = flag.String("json", "", "write engine benchmark results to this file (e.g. BENCH_sim.json)")
 	)
 	flag.Parse()
-	cfg := exp.Config{Quick: *quick, Seed: *seed}
+	cfg := exp.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 
 	ids := map[string]bool{}
 	if *only != "" {

@@ -5,7 +5,8 @@
 //	suu-gen -family chains -jobs 20 -machines 5 -chains 4 -seed 7
 //
 // Families: independent, chains, out-tree, in-tree, mixed-forest,
-// layered, grid, project. Shapes: uniform, specialist, bimodal.
+// layered, layered-width, grid, project. Shapes: uniform, specialist,
+// bimodal, power-law, correlated.
 package main
 
 import (
@@ -21,16 +22,17 @@ import (
 
 func main() {
 	var (
-		family   = flag.String("family", "independent", "dag family: independent|chains|out-tree|in-tree|mixed-forest|layered|grid|project")
+		family   = flag.String("family", "independent", "dag family: independent|chains|out-tree|in-tree|mixed-forest|layered|layered-width|grid|project")
 		jobs     = flag.Int("jobs", 12, "number of jobs")
 		machines = flag.Int("machines", 4, "number of machines")
-		shape    = flag.String("shape", "uniform", "probability shape: uniform|specialist|bimodal")
+		shape    = flag.String("shape", "uniform", "probability shape: uniform|specialist|bimodal|power-law|correlated")
 		lo       = flag.Float64("lo", 0.05, "probability lower bound")
 		hi       = flag.Float64("hi", 0.95, "probability upper bound")
 		chains   = flag.Int("chains", 3, "chain count (family=chains)")
 		comps    = flag.Int("components", 3, "component count (family=mixed-forest)")
 		layers   = flag.Int("layers", 3, "layer count (family=layered)")
-		density  = flag.Float64("density", 0.3, "edge density (family=layered)")
+		width    = flag.Int("width", 4, "layer width (family=layered-width)")
+		density  = flag.Float64("density", 0.3, "edge density (family=layered, layered-width)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		dot      = flag.Bool("dot", false, "emit Graphviz dot of the precedence dag (with its chain decomposition) instead of JSON")
 	)
@@ -44,6 +46,10 @@ func main() {
 		ps = workload.Specialist
 	case "bimodal":
 		ps = workload.Bimodal
+	case "power-law":
+		ps = workload.PowerLaw
+	case "correlated":
+		ps = workload.Correlated
 	default:
 		log.Fatalf("unknown shape %q", *shape)
 	}
@@ -63,6 +69,8 @@ func main() {
 		in = workload.MixedForest(cfg, *comps)
 	case "layered":
 		in = workload.Layered(cfg, *layers, *density)
+	case "layered-width":
+		in = workload.LayeredWidth(cfg, *width, *density)
 	case "grid":
 		in = workload.GridPipeline(*jobs, *machines, *seed)
 	case "project":

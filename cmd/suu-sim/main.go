@@ -6,9 +6,14 @@
 //
 //	suu-gen -family chains -jobs 16 | suu-sim -alg auto -reps 500
 //
-// Algorithms: auto (class dispatch), adaptive, comb-oblivious,
-// lp-oblivious, chains, forest, optimal (small instances), and the
-// baselines greedy, round-robin, all-on-one, random.
+// The -alg values come straight from the solver registry
+// (internal/solve) — run `suu-sim -list` for the current catalogue
+// with theorems, applicable precedence classes, and guarantees; the
+// list cannot drift from the implementation because the flag's
+// accepted values and the listing are generated from the same
+// registrations. The special value "auto" dispatches to the strongest
+// registered construction for the instance's precedence class
+// (exactly like the library's suu.Solve).
 package main
 
 import (
@@ -17,14 +22,14 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math/rand"
 	"os"
+	"strings"
 
 	"suu/internal/core"
 	"suu/internal/model"
-	"suu/internal/opt"
 	"suu/internal/sched"
 	"suu/internal/sim"
+	"suu/internal/solve"
 )
 
 func main() {
@@ -32,13 +37,20 @@ func main() {
 		gantt    = flag.Int("gantt", 0, "print the first N steps of an oblivious schedule as a Gantt chart")
 		stats    = flag.Bool("stats", false, "print prefix statistics (utilization, job windows, mass)")
 		export   = flag.String("export", "", "write the oblivious schedule JSON to this file")
-		alg      = flag.String("alg", "auto", "algorithm: auto|adaptive|learning|comb-oblivious|lp-oblivious|chains|forest|optimal|greedy|round-robin|all-on-one|random")
+		alg      = flag.String("alg", "auto", "algorithm: auto|"+strings.Join(solve.IDs(), "|"))
+		list     = flag.Bool("list", false, "list registered solvers (id, theorem, classes, guarantee) and exit")
 		reps     = flag.Int("reps", 200, "Monte Carlo repetitions")
 		maxSteps = flag.Int("max-steps", 1_000_000, "per-run step cap")
 		seed     = flag.Int64("seed", 1, "seed for construction and simulation")
 		file     = flag.String("f", "-", "instance file (default stdin)")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Print("auto: strongest registered construction for the instance's class (suu.Solve dispatch)\n\n")
+		fmt.Print(solve.Describe())
+		return
+	}
 
 	var r io.Reader = os.Stdin
 	if *file != "-" {
@@ -56,65 +68,26 @@ func main() {
 
 	par := core.DefaultParams()
 	par.Seed = *seed
-	var pol sched.Policy
-	var info string
 
-	build := func() (sched.Policy, string) {
-		switch *alg {
-		case "auto", "forest":
-			res, err := core.SUUForest(in, par)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return res.Schedule, fmt.Sprintf("forest pipeline (%s decomposition, %d blocks, lower bound %.2f)",
-				res.Decomposition.Method, res.Decomposition.Width(), res.LowerBound)
-		case "adaptive":
-			return &core.AdaptivePolicy{In: in}, "adaptive SUU-I-ALG"
-		case "learning":
-			return core.NewLearningPolicy(in, 0.7), "online learner (§5 extension, optimism 0.7)"
-		case "comb-oblivious":
-			res, err := core.SUUIOblivious(in, par)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return res.Schedule, fmt.Sprintf("SUU-I-OBL (t=%d, rounds=%d, core %d steps)", res.TGuess, res.Rounds, res.CoreLength)
-		case "lp-oblivious":
-			res, err := core.SUUIndependentLP(in, par)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return res.Schedule, fmt.Sprintf("LP oblivious (T*=%.2f, lower bound %.2f)", res.TStar, res.LowerBound)
-		case "chains":
-			res, err := core.SUUChains(in, par)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return res.Schedule, fmt.Sprintf("chains pipeline (T*=%.2f, Πmax=%d, congestion=%d)", res.TStar, res.MaxLoad, res.Congestion)
-		case "optimal":
-			reg, topt, err := opt.OptimalRegimen(in)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return reg, fmt.Sprintf("optimal regimen (exact E[makespan]=%.4f)", topt)
-		case "greedy":
-			return &core.GreedyMaxPPolicy{In: in}, "baseline greedy-maxp"
-		case "round-robin":
-			return &core.RoundRobinPolicy{In: in}, "baseline round-robin"
-		case "all-on-one":
-			return &core.AllOnOnePolicy{In: in}, "baseline all-on-one"
-		case "random":
-			return &core.RandomPolicy{In: in, Rng: rand.New(rand.NewSource(*seed))}, "baseline random"
-		default:
-			log.Fatalf("unknown algorithm %q", *alg)
-			return nil, ""
+	var res *solve.Result
+	var err error
+	if *alg == "auto" {
+		_, res, err = solve.Auto(in, par)
+	} else {
+		sol, ok := solve.Get(*alg)
+		if !ok {
+			log.Fatalf("unknown algorithm %q (run suu-sim -list for the catalogue)", *alg)
 		}
+		res, err = sol.Build(in, par)
 	}
-	pol, info = build()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("instance: %d jobs, %d machines, class %s, width %d, depth %d\n",
 		in.N, in.M, in.Prec.Classify(), in.Prec.Width(), in.Prec.Depth())
-	fmt.Printf("schedule: %s\n", info)
-	if obl, ok := pol.(*sched.Oblivious); ok {
+	fmt.Printf("schedule: %s\n", res.Detail)
+	if obl, ok := res.Policy.(*sched.Oblivious); ok {
 		if *gantt > 0 {
 			fmt.Print(obl.Gantt(*gantt))
 		}
@@ -135,7 +108,7 @@ func main() {
 		fmt.Println("(gantt/export/stats ignored: schedule is adaptive)")
 	}
 
-	sum, incomplete := sim.Estimate(in, pol, *reps, *maxSteps, *seed)
+	sum, incomplete := sim.Estimate(in, res.Policy, *reps, *maxSteps, *seed)
 	fmt.Printf("E[makespan] ≈ %s", sum)
 	if incomplete > 0 {
 		fmt.Printf("  (%d/%d runs hit the step cap!)", incomplete, *reps)

@@ -43,6 +43,9 @@ type Params struct {
 	// MaxDoublings caps SUU-I-OBL's doubling search of t as a safety
 	// net; the search provably stops after O(log(n/p_min)) doublings.
 	MaxDoublings int
+	// Optimism scales the UCB-style exploration bonus of the online
+	// learning policy (§5 extension); 0 disables exploration.
+	Optimism float64
 }
 
 // DefaultParams returns the paper's constants.
@@ -55,6 +58,7 @@ func DefaultParams() Params {
 		DelayTries:        64,
 		Seed:              1,
 		MaxDoublings:      62,
+		Optimism:          0.7,
 	}
 }
 

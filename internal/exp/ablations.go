@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"suu/internal/core"
+	"suu/internal/sim"
+	"suu/internal/solve"
 	"suu/internal/workload"
 )
 
@@ -17,33 +19,43 @@ func A1(cfg Config) *Table {
 		PaperBound: "§4.1: delays trade schedule length (×congestion) for feasibility",
 		Header:     []string{"n", "m", "chains", "cong off", "len off", "cong on", "len on"},
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 20))
 	type pt struct{ n, m, c int }
 	sweep := []pt{{16, 4, 4}, {32, 6, 8}, {64, 8, 12}}
 	if cfg.Quick {
 		sweep = sweep[:2]
 	}
-	for _, p := range sweep {
-		in := workload.Chains(workload.Config{Jobs: p.n, Machines: p.m, Seed: rng.Int63()}, p.c)
+	type row struct {
+		cells []string
+		ok    bool
+	}
+	rows := runCells(cfg, len(sweep), func(i int) row {
+		p := sweep[i]
+		seed := sim.SeedFor(cfg.Seed, "A1", int64(p.n), int64(p.m), int64(p.c))
+		in := workload.Chains(workload.Config{Jobs: p.n, Machines: p.m, Seed: seed}, p.c)
 		chains, err := in.Prec.Chains()
 		if err != nil {
-			continue
+			return row{}
 		}
 		fs, err := core.SolveLP1(in, chains, 0.5)
 		if err != nil {
-			continue
+			return row{}
 		}
 		ints, err := core.RoundLP(in, fs, 0.5)
 		if err != nil {
-			continue
+			return row{}
 		}
 		pseudo := core.BuildPseudo(in, chains, ints.X)
 		congOff := pseudo.MaxCongestion()
 		lenOff := pseudo.Flatten().Len()
-		prng := rand.New(rand.NewSource(cfg.Seed))
+		prng := rand.New(rand.NewSource(sim.SeedFor(seed, "delays")))
 		delays, congOn := pseudo.BestDelays(pseudo.MaxLoad(), 64, prng)
 		lenOn := pseudo.WithDelays(delays).Flatten().Len()
-		t.Rows = append(t.Rows, []string{d(p.n), d(p.m), d(p.c), d(congOff), d(lenOff), d(congOn), d(lenOn)})
+		return row{cells: []string{d(p.n), d(p.m), d(p.c), d(congOff), d(lenOff), d(congOn), d(lenOn)}, ok: true}
+	})
+	for _, r := range rows {
+		if r.ok {
+			t.Rows = append(t.Rows, r.cells)
+		}
 	}
 	t.Notes = "Flattening multiplies length by per-step congestion; delays spread the collisions, shortening the flattened schedule when chains overlap heavily."
 	return t
@@ -59,16 +71,29 @@ func A2(cfg Config) *Table {
 		PaperBound: "§4.1 uses σ = 16·log n for the 1−1/n² completion bound",
 		Header:     []string{"repl factor", "prefix len", "E[makespan]"},
 	}
-	in := workload.Independent(workload.Config{Jobs: 16, Machines: 5, Seed: cfg.Seed + 21})
-	for _, factor := range []int{1, 2, 4, 8, 16} {
-		par := paramsWithSeed(cfg.Seed)
-		par.ReplicationFactor = factor
-		res, err := core.SUUIndependentLP(in, par)
+	factors := []int{1, 2, 4, 8, 16}
+	in := workload.Independent(workload.Config{Jobs: 16, Machines: 5, Seed: sim.SeedFor(cfg.Seed, "A2")})
+	type row struct {
+		prefix int
+		mean   float64
+		ok     bool
+	}
+	rows := runCells(cfg, len(factors), func(i int) row {
+		seed := sim.SeedFor(cfg.Seed, "A2", int64(factors[i]))
+		par := paramsWithSeed(sim.SeedFor(seed, "build"))
+		par.ReplicationFactor = factors[i]
+		lp, _ := solve.Get("lp-oblivious")
+		res, err := lp.Build(in, par)
 		if err != nil {
-			continue
+			return row{}
 		}
-		mean := estimate(in, res.Schedule, cfg.reps(), cfg.Seed)
-		t.Rows = append(t.Rows, []string{d(factor), d(res.Schedule.Len()), f2(mean)})
+		mean := estimate(in, res.Policy, cfg.reps(), sim.SeedFor(seed, "sim"))
+		return row{prefix: res.PrefixLen, mean: mean, ok: true}
+	})
+	for i, r := range rows {
+		if r.ok {
+			t.Rows = append(t.Rows, []string{d(factors[i]), d(r.prefix), f2(r.mean)})
+		}
 	}
 	t.Notes = "Small σ is much shorter and the round-robin tail safely absorbs stragglers — the paper's constant is set for the worst case, not the average one."
 	return t
@@ -83,37 +108,48 @@ func A3(cfg Config) *Table {
 		PaperBound: "Thm 4.1: load ≤ O(log m)·T* with mass ≥ 1/2",
 		Header:     []string{"n", "m", "T*", "flow: load", "flow: min mass", "naive: load", "naive: min mass"},
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 22))
 	type pt struct{ n, m int }
-	for _, p := range []pt{{8, 12}, {12, 20}, {16, 32}} {
-		in := workload.Independent(workload.Config{Jobs: p.n, Machines: p.m, Lo: 0.02, Hi: 0.3, Seed: rng.Int63()})
+	sweep := []pt{{8, 12}, {12, 20}, {16, 32}}
+	type row struct {
+		cells []string
+		ok    bool
+	}
+	rows := runCells(cfg, len(sweep), func(i int) row {
+		p := sweep[i]
+		seed := sim.SeedFor(cfg.Seed, "A3", int64(p.n), int64(p.m))
+		in := workload.Independent(workload.Config{Jobs: p.n, Machines: p.m, Lo: 0.02, Hi: 0.3, Seed: seed})
 		chains := make([][]int, p.n)
 		for j := 0; j < p.n; j++ {
 			chains[j] = []int{j}
 		}
 		fs, err := core.SolveLP1(in, chains, 0.5)
 		if err != nil {
-			continue
+			return row{}
 		}
 		ints, err := core.RoundLP(in, fs, 0.5)
 		if err != nil {
-			continue
+			return row{}
 		}
 		// Naive: ceil every positive entry.
 		naive := &core.IntSolution{Jobs: fs.Jobs, X: make([][]int, in.M)}
-		for i := range naive.X {
-			naive.X[i] = make([]int, in.N)
+		for mi := range naive.X {
+			naive.X[mi] = make([]int, in.N)
 			for j := 0; j < in.N; j++ {
-				if fs.X[i][j] > 1e-12 {
-					naive.X[i][j] = ceilInt(fs.X[i][j])
+				if fs.X[mi][j] > 1e-12 {
+					naive.X[mi][j] = ceilInt(fs.X[mi][j])
 				}
 			}
 		}
-		t.Rows = append(t.Rows, []string{
+		return row{cells: []string{
 			d(p.n), d(p.m), f2(fs.T),
 			d(ints.Load()), f3(ints.MinMass(in)),
 			d(naive.Load()), f3(naive.MinMass(in)),
-		})
+		}, ok: true}
+	})
+	for _, r := range rows {
+		if r.ok {
+			t.Rows = append(t.Rows, r.cells)
+		}
 	}
 	t.Notes = "Naive ceiling keeps mass but can blow the load up to the number of fractional entries per machine; the flow rounding concentrates steps into one probability bucket per job."
 	return t
@@ -128,7 +164,10 @@ func ceilInt(x float64) int {
 }
 
 // A4 compares construction cost and output quality of the two
-// oblivious constructions for independent jobs.
+// oblivious constructions for independent jobs. It deliberately stays
+// sequential and on the raw core API: the point is wall-clock
+// construction cost (and the LP lift λ, which the registry result
+// does not carry), and concurrent cells would pollute the timings.
 func A4(cfg Config) *Table {
 	t := &Table{
 		ID:         "A4",
@@ -136,22 +175,22 @@ func A4(cfg Config) *Table {
 		PaperBound: "both polynomial; the LP route pays simplex, the combinatorial route pays doubling",
 		Header:     []string{"n", "m", "comb: build µs", "comb: prefix", "lp: build µs", "lp: prefix", "lp lift λ"},
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 23))
 	sizes := [][2]int{{8, 4}, {16, 6}, {32, 8}, {64, 12}}
 	if cfg.Quick {
 		sizes = sizes[:3]
 	}
 	for _, nm := range sizes {
 		n, m := nm[0], nm[1]
-		in := workload.Independent(workload.Config{Jobs: n, Machines: m, Seed: rng.Int63()})
+		seed := sim.SeedFor(cfg.Seed, "A4", int64(n), int64(m))
+		in := workload.Independent(workload.Config{Jobs: n, Machines: m, Seed: seed})
 		start := time.Now()
-		comb, err := core.SUUIOblivious(in, paramsWithSeed(cfg.Seed))
+		comb, err := core.SUUIOblivious(in, paramsWithSeed(sim.SeedFor(seed, "build")))
 		if err != nil {
 			continue
 		}
 		combT := time.Since(start).Microseconds()
 		start = time.Now()
-		lpres, err := core.SUUIndependentLP(in, paramsWithSeed(cfg.Seed))
+		lpres, err := core.SUUIndependentLP(in, paramsWithSeed(sim.SeedFor(seed, "build")))
 		if err != nil {
 			continue
 		}

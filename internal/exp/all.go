@@ -17,6 +17,7 @@ var Drivers = []struct {
 	{"T10", T10},
 	{"T11", T11},
 	{"T12", T12},
+	{"T13", T13},
 	{"A1", A1},
 	{"A2", A2},
 	{"A3", A3},
@@ -24,7 +25,11 @@ var Drivers = []struct {
 	{"A5", A5},
 }
 
-// All runs every experiment and returns the tables in order.
+// All runs every experiment and returns the tables in presentation
+// order. Drivers run one after another — the parallelism lives at
+// cell granularity inside each driver — so only one worker pool is
+// alive at a time and the deliberately-sequential timing drivers
+// (T12, A4) measure an otherwise-idle machine.
 func All(cfg Config) []*Table {
 	var out []*Table
 	for _, drv := range Drivers {

@@ -11,6 +11,7 @@ import (
 	"suu/internal/model"
 	"suu/internal/sched"
 	"suu/internal/sim"
+	"suu/internal/solve"
 	"suu/internal/workload"
 )
 
@@ -44,6 +45,33 @@ type SimBench struct {
 	P99 float64 `json:"p99_makespan"`
 }
 
+// SolverBuildBench is one row of the per-solver construction-cost
+// section: how long the registry solver takes to build a schedule on
+// its reference workload (LP solves dominate the LP-based pipelines).
+type SolverBuildBench struct {
+	Solver   string `json:"solver"`
+	Theorem  string `json:"theorem,omitempty"`
+	Family   string `json:"family"`
+	Jobs     int    `json:"jobs"`
+	Machines int    `json:"machines"`
+	// BuildMS is the construction wall-clock in milliseconds (best of
+	// three runs, to shed scheduler noise).
+	BuildMS   float64 `json:"build_ms"`
+	PrefixLen int     `json:"prefix_len,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// GridHarnessBench records the scenario-grid harness's throughput:
+// cells evaluated per second with the full worker pool vs the
+// sequential harness, and the resulting speedup on this runner.
+type GridHarnessBench struct {
+	Cells          int     `json:"cells"`
+	Workers        int     `json:"workers"`
+	CellsPerSec    float64 `json:"cells_per_sec"`
+	SeqCellsPerSec float64 `json:"seq_cells_per_sec"`
+	Speedup        float64 `json:"speedup"`
+}
+
 // SimBenchFile is the BENCH_sim.json document.
 type SimBenchFile struct {
 	Generated  string     `json:"generated"`
@@ -52,6 +80,12 @@ type SimBenchFile struct {
 	Quick      bool       `json:"quick"`
 	Seed       int64      `json:"seed"`
 	Benchmarks []SimBench `json:"benchmarks"`
+	// SolverBuilds records per-solver construction cost across the
+	// registry.
+	SolverBuilds []SolverBuildBench `json:"solver_build"`
+	// Grid records the scenario-grid harness's cell throughput and
+	// parallel speedup.
+	Grid *GridHarnessBench `json:"grid_harness,omitempty"`
 	// Skipped records families whose schedule construction failed, so
 	// a lost row reads as an error instead of silently shrinking the
 	// perf record.
@@ -142,7 +176,121 @@ func SimBenchmarks(cfg Config) SimBenchFile {
 			P99:          quants[1],
 		})
 	}
+	file.SolverBuilds = SolverBuildBenchmarks(cfg)
+	file.Grid = GridHarnessBenchmark(cfg)
 	return file
+}
+
+// SolverBuildBenchmarks times every registry solver's construction on
+// a reference workload of its class. Build time matters independently
+// of engine throughput: the LP pipelines pay simplex up front, and
+// the scenario grid pays it once per cell.
+func SolverBuildBenchmarks(cfg Config) []SolverBuildBench {
+	jobs, machines := 48, 8
+	if cfg.Quick {
+		jobs, machines = 24, 6
+	}
+	refs := map[string]struct {
+		family string
+		gen    func(seed int64) *model.Instance
+	}{
+		"chains": {"chains", func(seed int64) *model.Instance {
+			return workload.Chains(workload.Config{Jobs: jobs, Machines: machines, Seed: seed}, machines/2)
+		}},
+		"forest": {"out-tree", func(seed int64) *model.Instance {
+			return workload.OutTree(workload.Config{Jobs: jobs, Machines: machines, Seed: seed})
+		}},
+		"optimal": {"independent", func(seed int64) *model.Instance {
+			return workload.Independent(workload.Config{Jobs: 6, Machines: 2, Seed: seed})
+		}},
+	}
+	defaultGen := func(seed int64) *model.Instance {
+		return workload.Independent(workload.Config{Jobs: jobs, Machines: machines, Seed: seed})
+	}
+	var out []SolverBuildBench
+	for _, s := range solve.All() {
+		family, gen := "independent", defaultGen
+		if ref, ok := refs[s.ID]; ok {
+			family, gen = ref.family, ref.gen
+		}
+		seed := sim.SeedFor(cfg.Seed, "bench-build/"+s.ID)
+		in := gen(seed)
+		row := SolverBuildBench{
+			Solver: s.ID, Theorem: s.Theorem, Family: family, Jobs: in.N, Machines: in.M,
+		}
+		best := -1.0
+		for try := 0; try < 3; try++ {
+			start := time.Now()
+			res, err := s.Build(in, paramsWithSeed(sim.SeedFor(seed, "build")))
+			elapsed := float64(time.Since(start).Nanoseconds()) / 1e6
+			if err != nil {
+				row.Error = err.Error()
+				break
+			}
+			row.PrefixLen = res.PrefixLen
+			if best < 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		if best >= 0 {
+			row.BuildMS = best
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// GridBenchSpec is the short CPU-heavy reference grid shape shared by
+// the BENCH_sim.json grid-harness record and the speedup test. The
+// quick flag only scales the trial count: the CI bench job records
+// the quick variant while TestGridSpeedup times the full one, so the
+// two numbers describe the same workload at different sizes, not the
+// same measurement.
+func GridBenchSpec(quick bool) GridSpec {
+	var points []GridPoint
+	for _, sc := range []string{"independent", "chains", "out-tree", "power-law"} {
+		points = append(points, GridPoint{Scenario: sc, Jobs: 24, Machines: 6})
+	}
+	trials := 4
+	if quick {
+		trials = 2
+	}
+	return GridSpec{Points: points, Solvers: []string{"forest", "adaptive"}, Trials: trials}
+}
+
+// GridHarnessBenchmark measures the scenario-grid harness on the
+// reference grid: cells/sec with the configured worker pool vs the
+// sequential harness. The speedup column is the number the acceptance
+// bar reads (≥ 2× on a multi-core runner); on a single-core machine
+// it hovers near 1.
+func GridHarnessBenchmark(cfg Config) *GridHarnessBench {
+	spec := GridBenchSpec(cfg.Quick)
+	cells := len(spec.Cells())
+	par := cfg
+	par.Workers = 0    // full pool
+	RunGrid(par, spec) // warm caches before timing
+	start := time.Now()
+	RunGrid(par, spec)
+	parSec := time.Since(start).Seconds()
+	seq := cfg
+	seq.Workers = 1
+	start = time.Now()
+	RunGrid(seq, spec)
+	seqSec := time.Since(start).Seconds()
+	b := &GridHarnessBench{
+		Cells:   cells,
+		Workers: par.workers(),
+	}
+	if parSec > 0 {
+		b.CellsPerSec = float64(cells) / parSec
+	}
+	if seqSec > 0 {
+		b.SeqCellsPerSec = float64(cells) / seqSec
+	}
+	if b.SeqCellsPerSec > 0 {
+		b.Speedup = b.CellsPerSec / b.SeqCellsPerSec
+	}
+	return b
 }
 
 // allocsPerRep measures steady-state allocations per repetition by

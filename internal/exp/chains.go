@@ -7,6 +7,8 @@ import (
 	"suu/internal/core"
 	"suu/internal/model"
 	"suu/internal/sched"
+	"suu/internal/sim"
+	"suu/internal/solve"
 	"suu/internal/stats"
 	"suu/internal/workload"
 )
@@ -21,29 +23,48 @@ func T6(cfg Config) *Table {
 		PaperBound: "Theorem 4.4: E[makespan] ≤ O(log m·log n·log(n+m)/loglog(n+m))·T_OPT",
 		Header:     []string{"n", "m", "chains", "T*", "Πmax", "congestion", "mean ratio", "ratio/bound-shape"},
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 6))
 	type pt struct{ n, m, c int }
 	sweep := []pt{{6, 3, 2}, {12, 4, 3}, {24, 6, 4}, {48, 8, 6}}
 	if cfg.Quick {
 		sweep = sweep[:3]
 	}
-	for _, p := range sweep {
+	trials := cfg.trials()
+	type cell struct {
+		ratio, tstar  float64
+		maxLoad, cong int
+		ok            bool
+	}
+	cells := runSweep(cfg, len(sweep), trials, func(s, k int) cell {
+		p := sweep[s]
+		seed := sim.SeedFor(cfg.Seed, "T6", int64(p.n), int64(p.m), int64(p.c), int64(k))
+		in := workload.Chains(workload.Config{Jobs: p.n, Machines: p.m, Seed: seed}, p.c)
+		sol, _ := solve.Get("chains")
+		res, err := sol.Build(in, paramsWithSeed(sim.SeedFor(seed, "build")))
+		if err != nil {
+			return cell{}
+		}
+		mean := estimate(in, res.Policy, cfg.reps(), sim.SeedFor(seed, "sim"))
+		if mean < 0 || res.LowerBound <= 0 {
+			return cell{}
+		}
+		return cell{
+			ratio:   mean / res.LowerBound,
+			tstar:   res.LPValue,
+			maxLoad: res.MaxLoad,
+			cong:    res.Congestion,
+			ok:      true,
+		}
+	})
+	for s, p := range sweep {
 		var ratios []float64
 		var tstar float64
 		maxLoad, cong := 0, 0
-		for k := 0; k < cfg.trials(); k++ {
-			in := workload.Chains(workload.Config{Jobs: p.n, Machines: p.m, Seed: rng.Int63()}, p.c)
-			res, err := core.SUUChains(in, paramsWithSeed(cfg.Seed))
-			if err != nil {
+		for _, c := range cells[s] {
+			if !c.ok {
 				continue
 			}
-			tstar = res.TStar
-			maxLoad, cong = res.MaxLoad, res.Congestion
-			mean := estimate(in, res.Schedule, cfg.reps(), cfg.Seed)
-			if mean < 0 || res.LowerBound <= 0 {
-				continue
-			}
-			ratios = append(ratios, mean/res.LowerBound)
+			ratios = append(ratios, c.ratio)
+			tstar, maxLoad, cong = c.tstar, c.maxLoad, c.cong
 		}
 		if len(ratios) == 0 {
 			continue
@@ -76,36 +97,46 @@ func T7(cfg Config) *Table {
 		PaperBound: "§4.1: with delays from [0,Π_max], congestion = O(log(n+m)/loglog(n+m)) whp",
 		Header:     []string{"n", "m", "chains", "Πmax", "cong (no delay)", "cong (delayed)", "log(n+m)/loglog(n+m)"},
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 7))
 	type pt struct{ n, m, c int }
 	sweep := []pt{{12, 3, 4}, {24, 4, 6}, {48, 6, 8}, {96, 8, 12}}
 	if cfg.Quick {
 		sweep = sweep[:3]
 	}
-	for _, p := range sweep {
-		in := workload.Chains(workload.Config{Jobs: p.n, Machines: p.m, Seed: rng.Int63()}, p.c)
+	type row struct {
+		cells []string
+		ok    bool
+	}
+	rows := runCells(cfg, len(sweep), func(i int) row {
+		p := sweep[i]
+		seed := sim.SeedFor(cfg.Seed, "T7", int64(p.n), int64(p.m), int64(p.c))
+		in := workload.Chains(workload.Config{Jobs: p.n, Machines: p.m, Seed: seed}, p.c)
 		chains, err := in.Prec.Chains()
 		if err != nil {
-			continue
+			return row{}
 		}
 		fs, err := core.SolveLP1(in, chains, 0.5)
 		if err != nil {
-			continue
+			return row{}
 		}
 		ints, err := core.RoundLP(in, fs, 0.5)
 		if err != nil {
-			continue
+			return row{}
 		}
 		pseudo := core.BuildPseudo(in, chains, ints.X)
 		before := pseudo.MaxCongestion()
 		maxLoad := pseudo.MaxLoad()
-		prng := rand.New(rand.NewSource(cfg.Seed))
+		prng := rand.New(rand.NewSource(sim.SeedFor(seed, "delays")))
 		_, after := pseudo.BestDelays(maxLoad, 64, prng)
 		lnm := stats.Log2(float64(p.n+p.m) + 1)
 		shape := lnm / math.Log2(lnm+2)
-		t.Rows = append(t.Rows, []string{
+		return row{cells: []string{
 			d(p.n), d(p.m), d(p.c), d(maxLoad), d(before), d(after), f2(shape),
-		})
+		}, ok: true}
+	})
+	for _, r := range rows {
+		if r.ok {
+			t.Rows = append(t.Rows, r.cells)
+		}
 	}
 	t.Notes = "The delayed congestion should track the shape column (up to constants) while the undelayed one grows with the chain count."
 	return t

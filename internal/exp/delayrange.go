@@ -1,9 +1,8 @@
 package exp
 
 import (
-	"math/rand"
-
 	"suu/internal/core"
+	"suu/internal/sim"
 	"suu/internal/stats"
 	"suu/internal/workload"
 )
@@ -12,7 +11,9 @@ import (
 // [0, Π_max]; Theorem 4.8's tree analysis allows [0, Π_max/log n].
 // Narrower ranges give shorter delayed prefixes at (theoretically)
 // higher congestion; this table measures both effects on out-trees by
-// comparing the two SUUForest code paths end to end.
+// comparing the two SUUForest code paths end to end. It stays on the
+// raw core API deliberately — it reruns individual decomposition
+// blocks, which the registry does not expose.
 func A5(cfg Config) *Table {
 	t := &Table{
 		ID:         "A5",
@@ -20,56 +21,73 @@ func A5(cfg Config) *Table {
 		PaperBound: "Thm 4.8 trades congestion for shorter delayed prefixes on tree blocks",
 		Header:     []string{"n", "m", "full: prefix", "full: ratio", "log-div: prefix", "log-div: ratio"},
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 50))
 	sizes := [][2]int{{12, 4}, {24, 6}, {48, 8}}
 	if cfg.Quick {
 		sizes = sizes[:2]
 	}
-	for _, nm := range sizes {
-		n, m := nm[0], nm[1]
-		var fullLen, divLen, fullR, divR []float64
-		for k := 0; k < cfg.trials(); k++ {
-			in := workload.OutTree(workload.Config{Jobs: n, Machines: m, Seed: rng.Int63()})
-			// The rank decomposition triggers the log-divisor path; to get
-			// the full-range behaviour on identical blocks, rerun each
-			// block through the chains pipeline directly.
-			divRes, err := core.SUUForest(in, paramsWithSeed(cfg.Seed))
+	trials := cfg.trials()
+	type cell struct {
+		fullLen, divLen, fullR, divR float64
+		hasDivR                      bool
+		ok                           bool
+	}
+	cells := runSweep(cfg, len(sizes), trials, func(s, k int) cell {
+		n, m := sizes[s][0], sizes[s][1]
+		seed := sim.SeedFor(cfg.Seed, "A5", int64(n), int64(m), int64(k))
+		in := workload.OutTree(workload.Config{Jobs: n, Machines: m, Seed: seed})
+		// The rank decomposition triggers the log-divisor path; to get
+		// the full-range behaviour on identical blocks, rerun each
+		// block through the chains pipeline directly.
+		divRes, err := core.SUUForest(in, paramsWithSeed(sim.SeedFor(seed, "build")))
+		if err != nil {
+			return cell{}
+		}
+		dc := divRes.Decomposition
+		var fullPrefix int
+		for _, blk := range dc.Blocks {
+			br, err := core.SUUChainsOnBlock(in, blk.Chains, paramsWithSeed(sim.SeedFor(seed, "build")))
 			if err != nil {
-				continue
+				return cell{}
 			}
-			dc := divRes.Decomposition
-			var fullPrefix int
-			ok := true
-			for _, blk := range dc.Blocks {
-				br, err := core.SUUChainsOnBlock(in, blk.Chains, paramsWithSeed(cfg.Seed))
-				if err != nil {
-					ok = false
-					break
-				}
-				fullPrefix += br.Schedule.Len()
-			}
-			if !ok {
-				continue
-			}
-			lb := divRes.LowerBound
-			if lb <= 0 {
-				continue
-			}
-			divLen = append(divLen, float64(divRes.Schedule.Len()))
-			fullLen = append(fullLen, float64(fullPrefix))
-			if mean := estimate(in, divRes.Schedule, cfg.reps(), cfg.Seed); mean > 0 {
-				divR = append(divR, mean/lb)
-			}
+			fullPrefix += br.Schedule.Len()
+		}
+		lb := divRes.LowerBound
+		if lb <= 0 {
+			return cell{}
+		}
+		c := cell{
+			fullLen: float64(fullPrefix),
+			divLen:  float64(divRes.Schedule.Len()),
 			// Ratio for the full-range variant approximated by its prefix
 			// length over the lower bound (the makespan of these
 			// schedules is essentially the prefix length).
-			fullR = append(fullR, float64(fullPrefix)/lb)
+			fullR: float64(fullPrefix) / lb,
+			ok:    true,
+		}
+		if mean := estimate(in, divRes.Schedule, cfg.reps(), sim.SeedFor(seed, "sim")); mean > 0 {
+			c.divR = mean / lb
+			c.hasDivR = true
+		}
+		return c
+	})
+	for s, nm := range sizes {
+		var fullLen, divLen, fullR, divR []float64
+		for _, c := range cells[s] {
+			if !c.ok {
+				continue
+			}
+			fullLen = append(fullLen, c.fullLen)
+			divLen = append(divLen, c.divLen)
+			fullR = append(fullR, c.fullR)
+			if c.hasDivR {
+				divR = append(divR, c.divR)
+			}
 		}
 		if len(divLen) == 0 || len(fullLen) == 0 {
 			continue
 		}
 		t.Rows = append(t.Rows, []string{
-			d(n), d(m),
+			d(nm[0]), d(nm[1]),
 			f2(stats.Mean(fullLen)), f2(stats.Mean(fullR)),
 			f2(stats.Mean(divLen)), f2(stats.Mean(divR)),
 		})

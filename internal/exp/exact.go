@@ -1,11 +1,11 @@
 package exp
 
 import (
-	"math/rand"
-
 	"suu/internal/core"
 	"suu/internal/opt"
 	"suu/internal/sched"
+	"suu/internal/sim"
+	"suu/internal/solve"
 	"suu/internal/stats"
 	"suu/internal/workload"
 )
@@ -21,52 +21,65 @@ func T11(cfg Config) *Table {
 		PaperBound: "adaptive within O(log n) (Thm 3.3); oblivious within O(log² n)/O(log n·log min) (Thms 3.6/4.5)",
 		Header:     []string{"n", "m", "exact OPT", "adaptive", "comb-obl", "lp-obl (σ=1)", "obl/OPT"},
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 30))
 	sizes := [][2]int{{3, 2}, {4, 2}, {5, 3}, {6, 3}}
 	if cfg.Quick {
 		sizes = sizes[:3]
 	}
-	for _, nm := range sizes {
-		n, m := nm[0], nm[1]
+	trials := cfg.trials()
+	type cell struct {
+		opt, ada, comb, lp float64
+		ok                 bool
+	}
+	cells := runSweep(cfg, len(sizes), trials, func(s, k int) cell {
+		n, m := sizes[s][0], sizes[s][1]
+		seed := sim.SeedFor(cfg.Seed, "T11", int64(n), int64(m), int64(k))
+		in := workload.Independent(workload.Config{Jobs: n, Machines: m, Seed: seed})
+		_, topt, err := opt.OptimalRegimen(in)
+		if err != nil {
+			return cell{}
+		}
+		reg, err := opt.GreedyRegimen(in, func(unf, elig []bool) sched.Assignment {
+			return core.MSMAlg(in, elig)
+		})
+		if err != nil {
+			return cell{}
+		}
+		ada, err := opt.ExactRegimen(in, reg)
+		if err != nil {
+			return cell{}
+		}
+		combSolver, _ := solve.Get("comb-oblivious")
+		comb, err := combSolver.Build(in, paramsWithSeed(sim.SeedFor(seed, "build")))
+		if err != nil {
+			return cell{}
+		}
+		combE, res1, err := opt.ExactOblivious(in, comb.Policy.(*sched.Oblivious), 100000, 1e-10)
+		if err != nil || res1 > 1e-6 {
+			return cell{}
+		}
+		par := paramsWithSeed(sim.SeedFor(seed, "build"))
+		par.ReplicationFactor = 1 // keep the exact horizon tractable
+		lpSolver, _ := solve.Get("lp-oblivious")
+		lpres, err := lpSolver.Build(in, par)
+		if err != nil {
+			return cell{}
+		}
+		lpE, res2, err := opt.ExactOblivious(in, lpres.Policy.(*sched.Oblivious), 100000, 1e-10)
+		if err != nil || res2 > 1e-6 {
+			return cell{}
+		}
+		return cell{opt: topt, ada: ada, comb: combE, lp: lpE, ok: true}
+	})
+	for s, nm := range sizes {
 		var optV, adaV, combV, lpV []float64
-		for k := 0; k < cfg.trials(); k++ {
-			in := workload.Independent(workload.Config{Jobs: n, Machines: m, Seed: rng.Int63()})
-			_, topt, err := opt.OptimalRegimen(in)
-			if err != nil {
+		for _, c := range cells[s] {
+			if !c.ok {
 				continue
 			}
-			reg, err := opt.GreedyRegimen(in, func(unf, elig []bool) sched.Assignment {
-				return core.MSMAlg(in, elig)
-			})
-			if err != nil {
-				continue
-			}
-			ada, err := opt.ExactRegimen(in, reg)
-			if err != nil {
-				continue
-			}
-			comb, err := core.SUUIOblivious(in, paramsWithSeed(cfg.Seed))
-			if err != nil {
-				continue
-			}
-			combE, res1, err := opt.ExactOblivious(in, comb.Schedule, 100000, 1e-10)
-			if err != nil || res1 > 1e-6 {
-				continue
-			}
-			par := paramsWithSeed(cfg.Seed)
-			par.ReplicationFactor = 1 // keep the exact horizon tractable
-			lpres, err := core.SUUIndependentLP(in, par)
-			if err != nil {
-				continue
-			}
-			lpE, res2, err := opt.ExactOblivious(in, lpres.Schedule, 100000, 1e-10)
-			if err != nil || res2 > 1e-6 {
-				continue
-			}
-			optV = append(optV, topt)
-			adaV = append(adaV, ada)
-			combV = append(combV, combE)
-			lpV = append(lpV, lpE)
+			optV = append(optV, c.opt)
+			adaV = append(adaV, c.ada)
+			combV = append(combV, c.comb)
+			lpV = append(lpV, c.lp)
 		}
 		if len(optV) == 0 {
 			continue
@@ -76,7 +89,7 @@ func T11(cfg Config) *Table {
 		if l < best {
 			best = l
 		}
-		t.Rows = append(t.Rows, []string{d(n), d(m), f2(o), f2(a), f2(c), f2(l), f2(best / o)})
+		t.Rows = append(t.Rows, []string{d(nm[0]), d(nm[1]), f2(o), f2(a), f2(c), f2(l), f2(best / o)})
 	}
 	t.Notes = "Exact expectations via the unfinished-set Markov chain; the lp-obl column uses σ=1 so the horizon stays tractable (A2 shows σ scales it linearly). obl/OPT is the better oblivious construction's exact ratio — the measurable price of scheduling without feedback."
 	return t

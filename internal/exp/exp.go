@@ -2,10 +2,17 @@
 // table of EXPERIMENTS.md — the empirical validation of each theorem
 // of Lin & Rajaraman (SPAA 2007) — plus the ablations called out in
 // DESIGN.md. Each driver returns a Table; cmd/suu-bench renders them.
+//
+// The drivers are built on the scenario-grid harness in grid.go:
+// every Monte Carlo cell (one instance × one solver × one trial)
+// derives its seeds from its own coordinates and evaluates on a
+// worker pool, so tables are bit-identical at any Workers setting and
+// any GOMAXPROCS while multi-core runs cut wall-clock time.
 package exp
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"suu/internal/model"
@@ -20,6 +27,22 @@ type Config struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the grid harness's parallelism: experiment cells
+	// (and the drivers themselves under All) evaluate on a pool of
+	// this many goroutines. 0 selects GOMAXPROCS; 1 is the fully
+	// sequential harness. Tables are bit-identical at any setting.
+	Workers int
+}
+
+// workers resolves the effective pool size.
+func (c Config) workers() int {
+	if c.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
 }
 
 // reps returns Monte Carlo repetitions for makespan estimates.
@@ -68,9 +91,14 @@ func (t *Table) Markdown() string {
 	return b.String()
 }
 
-// estimate returns the mean simulated makespan of pol on in.
+// estimate returns the mean simulated makespan of pol on in. It runs
+// the repetitions sequentially: the grid harness already carries the
+// parallelism at cell granularity, each cell owns its policy (so
+// stateful policies like the random baseline and the learner are
+// race-free), and sim.Estimate is bit-identical to
+// sim.EstimateParallel by the engine's contract.
 func estimate(in *model.Instance, pol sched.Policy, reps int, seed int64) float64 {
-	sum, incomplete := sim.EstimateParallel(in, pol, reps, 5_000_000, seed, 0)
+	sum, incomplete := sim.Estimate(in, pol, reps, 5_000_000, seed)
 	if incomplete > 0 {
 		return -1
 	}

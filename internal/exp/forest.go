@@ -1,9 +1,8 @@
 package exp
 
 import (
-	"math/rand"
-
-	"suu/internal/core"
+	"suu/internal/sim"
+	"suu/internal/solve"
 	"suu/internal/stats"
 	"suu/internal/workload"
 )
@@ -17,40 +16,55 @@ func T8(cfg Config) *Table {
 		PaperBound: "Theorem 4.8: E[makespan] ≤ O(log m·log² n)·T_OPT",
 		Header:     []string{"family", "n", "m", "blocks", "mean ratio", "ratio/(log m·log²n)"},
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 8))
+	families := []string{"out-tree", "in-tree"}
 	sizes := [][2]int{{8, 3}, {16, 4}, {32, 6}}
 	if cfg.Quick {
 		sizes = sizes[:2]
 	}
-	for _, family := range []string{"out-tree", "in-tree"} {
-		for _, nm := range sizes {
-			n, m := nm[0], nm[1]
+	trials := cfg.trials()
+	type cell struct {
+		ratio  float64
+		blocks int
+		ok     bool
+	}
+	cells := runSweep(cfg, len(families)*len(sizes), trials, func(p, k int) cell {
+		family := families[p/len(sizes)]
+		n, m := sizes[p%len(sizes)][0], sizes[p%len(sizes)][1]
+		seed := sim.SeedFor(cfg.Seed, "T8/"+family, int64(n), int64(m), int64(k))
+		c := workload.Config{Jobs: n, Machines: m, Seed: seed}
+		in := workload.OutTree(c)
+		if family == "in-tree" {
+			in = workload.InTree(c)
+		}
+		sol, _ := solve.Get("forest")
+		res, err := sol.Build(in, paramsWithSeed(sim.SeedFor(seed, "build")))
+		if err != nil {
+			return cell{}
+		}
+		mean := estimate(in, res.Policy, cfg.reps(), sim.SeedFor(seed, "sim"))
+		if mean < 0 || res.LowerBound <= 0 {
+			return cell{}
+		}
+		return cell{ratio: mean / res.LowerBound, blocks: res.Blocks, ok: true}
+	})
+	for fi, family := range families {
+		for s, nm := range sizes {
 			var ratios []float64
 			blocks := 0
-			for k := 0; k < cfg.trials(); k++ {
-				c := workload.Config{Jobs: n, Machines: m, Seed: rng.Int63()}
-				in := workload.OutTree(c)
-				if family == "in-tree" {
-					in = workload.InTree(c)
-				}
-				res, err := core.SUUForest(in, paramsWithSeed(cfg.Seed))
-				if err != nil {
+			for _, c := range cells[fi*len(sizes)+s] {
+				if !c.ok {
 					continue
 				}
-				blocks = res.Decomposition.Width()
-				mean := estimate(in, res.Schedule, cfg.reps(), cfg.Seed)
-				if mean < 0 || res.LowerBound <= 0 {
-					continue
-				}
-				ratios = append(ratios, mean/res.LowerBound)
+				ratios = append(ratios, c.ratio)
+				blocks = c.blocks
 			}
 			if len(ratios) == 0 {
 				continue
 			}
 			mr := stats.Mean(ratios)
-			lm := stats.Log2(float64(m) + 1)
-			ln := stats.Log2(float64(n) + 1)
-			t.Rows = append(t.Rows, []string{family, d(n), d(m), d(blocks), f2(mr), f2(mr / (lm * ln * ln))})
+			lm := stats.Log2(float64(nm[1]) + 1)
+			ln := stats.Log2(float64(nm[0]) + 1)
+			t.Rows = append(t.Rows, []string{family, d(nm[0]), d(nm[1]), d(blocks), f2(mr), f2(mr / (lm * ln * ln))})
 		}
 	}
 	t.Notes = "blocks ≤ ⌈log₂n⌉+1 by the rank decomposition (Lemma 4.6 regime)."
@@ -66,42 +80,57 @@ func T9(cfg Config) *Table {
 		PaperBound: "Theorem 4.7: E[makespan] ≤ O(log m·log²n·log(n+m)/loglog(n+m))·T_OPT",
 		Header:     []string{"family", "n", "m", "decomp", "blocks", "mean ratio", "ratio/bound-shape"},
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 9))
+	families := []string{"mixed-forest", "layered-dag"}
 	sizes := [][2]int{{12, 4}, {24, 6}}
 	if !cfg.Quick {
 		sizes = append(sizes, [2]int{48, 8})
 	}
-	for _, family := range []string{"mixed-forest", "layered-dag"} {
-		for _, nm := range sizes {
-			n, m := nm[0], nm[1]
+	trials := cfg.trials()
+	type cell struct {
+		ratio  float64
+		blocks int
+		method string
+		ok     bool
+	}
+	cells := runSweep(cfg, len(families)*len(sizes), trials, func(p, k int) cell {
+		family := families[p/len(sizes)]
+		n, m := sizes[p%len(sizes)][0], sizes[p%len(sizes)][1]
+		seed := sim.SeedFor(cfg.Seed, "T9/"+family, int64(n), int64(m), int64(k))
+		c := workload.Config{Jobs: n, Machines: m, Seed: seed}
+		in := workload.MixedForest(c, 3)
+		if family == "layered-dag" {
+			in = workload.Layered(c, 3, 0.25)
+		}
+		sol, _ := solve.Get("forest")
+		res, err := sol.Build(in, paramsWithSeed(sim.SeedFor(seed, "build")))
+		if err != nil {
+			return cell{}
+		}
+		mean := estimate(in, res.Policy, cfg.reps(), sim.SeedFor(seed, "sim"))
+		if mean < 0 || res.LowerBound <= 0 {
+			return cell{}
+		}
+		return cell{ratio: mean / res.LowerBound, blocks: res.Blocks, method: res.Decomp, ok: true}
+	})
+	for fi, family := range families {
+		for s, nm := range sizes {
 			var ratios []float64
 			blocks := 0
 			method := ""
-			for k := 0; k < cfg.trials(); k++ {
-				c := workload.Config{Jobs: n, Machines: m, Seed: rng.Int63()}
-				in := workload.MixedForest(c, 3)
-				if family == "layered-dag" {
-					in = workload.Layered(c, 3, 0.25)
-				}
-				res, err := core.SUUForest(in, paramsWithSeed(cfg.Seed))
-				if err != nil {
+			for _, c := range cells[fi*len(sizes)+s] {
+				if !c.ok {
 					continue
 				}
-				blocks = res.Decomposition.Width()
-				method = res.Decomposition.Method
-				mean := estimate(in, res.Schedule, cfg.reps(), cfg.Seed)
-				if mean < 0 || res.LowerBound <= 0 {
-					continue
-				}
-				ratios = append(ratios, mean/res.LowerBound)
+				ratios = append(ratios, c.ratio)
+				blocks, method = c.blocks, c.method
 			}
 			if len(ratios) == 0 {
 				continue
 			}
 			mr := stats.Mean(ratios)
-			ln := stats.Log2(float64(n) + 1)
-			shape := boundShapeChains(n, m) * ln
-			t.Rows = append(t.Rows, []string{family, d(n), d(m), method, d(blocks), f2(mr), f2(mr / shape)})
+			ln := stats.Log2(float64(nm[0]) + 1)
+			shape := boundShapeChains(nm[0], nm[1]) * ln
+			t.Rows = append(t.Rows, []string{family, d(nm[0]), d(nm[1]), method, d(blocks), f2(mr), f2(mr / shape)})
 		}
 	}
 	t.Notes = "layered-dag rows exercise the level-decomposition fallback, which is outside the paper's guarantee (expect larger normalized ratios there)."

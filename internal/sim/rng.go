@@ -47,3 +47,30 @@ func (s *Stream) Uint64() uint64 {
 func (s *Stream) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
 }
+
+// SeedFor derives an independent seed for a labeled cell of work from
+// a root seed: every (label, coords) combination maps to a
+// decorrelated SplitMix64 state, so parallel harnesses can hand each
+// cell its own deterministic randomness without sharing a generator.
+// The derivation depends only on the arguments — never on scheduling
+// — which is what keeps grid results bit-identical at any worker
+// count. The label's length is mixed in as a terminator so the label
+// bytes are domain-separated from the coords (no (label+byte, …) vs
+// (label, byte, …) collisions); callers composing multiple strings
+// into one cell identity should chain SeedFor calls rather than
+// concatenate, so the field boundary stays encoded.
+func SeedFor(root int64, label string, coords ...int64) int64 {
+	s := Stream{s: uint64(root) ^ 0x6A09E667F3BCC909}
+	h := s.Uint64()
+	for _, b := range []byte(label) {
+		s.s ^= uint64(b)
+		h ^= s.Uint64()
+	}
+	s.s ^= uint64(len(label))
+	h ^= s.Uint64()
+	for _, c := range coords {
+		s.s ^= uint64(c)
+		h ^= s.Uint64()
+	}
+	return int64(h)
+}

@@ -24,6 +24,15 @@ const (
 	// Bimodal draws Hi with probability 0.25 and Lo otherwise — a grid
 	// with a few well-placed fast nodes per job.
 	Bimodal
+	// PowerLaw draws p = Lo + (Hi-Lo)·u³ for u ~ U[0,1): a heavy-tailed
+	// matrix in which most (machine, job) pairs sit near Lo and a thin
+	// tail is fast — web-scale fleets where capable workers are rare.
+	PowerLaw
+	// Correlated draws a latent speed per machine and ease per job and
+	// sets p = Lo + (Hi-Lo)·speed·ease: fast machines are fast on
+	// everything, hard jobs are hard for everyone. The rank-1 structure
+	// defeats schedulers that assume independent entries.
+	Correlated
 )
 
 // Config parameterizes instance generation.
@@ -46,6 +55,17 @@ func (c Config) defaults() Config {
 // fillProbs populates the matrix per the config and guarantees every
 // job has at least one machine with probability >= Lo.
 func fillProbs(in *model.Instance, c Config, rng *rand.Rand) {
+	var speed, ease []float64
+	if c.Shape == Correlated {
+		speed = make([]float64, in.M)
+		for i := range speed {
+			speed[i] = 0.2 + 0.8*rng.Float64()
+		}
+		ease = make([]float64, in.N)
+		for j := range ease {
+			ease[j] = 0.2 + 0.8*rng.Float64()
+		}
+	}
 	for i := 0; i < in.M; i++ {
 		for j := 0; j < in.N; j++ {
 			switch c.Shape {
@@ -63,6 +83,11 @@ func fillProbs(in *model.Instance, c Config, rng *rand.Rand) {
 				} else {
 					in.P[i][j] = c.Lo
 				}
+			case PowerLaw:
+				u := rng.Float64()
+				in.P[i][j] = c.Lo + (c.Hi-c.Lo)*u*u*u
+			case Correlated:
+				in.P[i][j] = c.Lo + (c.Hi-c.Lo)*speed[i]*ease[j]
 			}
 		}
 	}
@@ -177,6 +202,43 @@ func Layered(c Config, layers int, density float64) *model.Instance {
 	for u := 0; u < c.Jobs; u++ {
 		for v := 0; v < c.Jobs; v++ {
 			if layerOf[v] == layerOf[u]+1 && rng.Float64() < density {
+				in.Prec.MustEdge(u, v)
+			}
+		}
+	}
+	return in
+}
+
+// LayeredWidth generates a layered random dag whose antichain width
+// is tunable: ⌈Jobs/width⌉ consecutive layers of (up to) width jobs
+// each; every job beyond the first layer gets one parent in the
+// previous layer (keeping the layering tight), plus extra
+// previous-layer edges with probability density. This is the general
+// (level-decomposition fallback) regime with Malewicz's hardness
+// parameter under direct experimental control.
+func LayeredWidth(c Config, width int, density float64) *model.Instance {
+	in := Independent(c)
+	rng := rand.New(rand.NewSource(c.Seed + 6))
+	if width < 1 {
+		width = 1
+	}
+	layerOf := make([]int, c.Jobs)
+	for j := 0; j < c.Jobs; j++ {
+		layerOf[j] = j / width
+	}
+	for v := 0; v < c.Jobs; v++ {
+		l := layerOf[v]
+		if l == 0 {
+			continue
+		}
+		lo, hi := (l-1)*width, l*width // previous layer is [lo, hi)
+		if hi > c.Jobs {
+			hi = c.Jobs
+		}
+		in.Prec.MustEdge(lo+rng.Intn(hi-lo), v)
+		for u := lo; u < hi; u++ {
+			if rng.Float64() < density {
+				// MustEdge tolerates duplicates of the mandatory parent edge.
 				in.Prec.MustEdge(u, v)
 			}
 		}

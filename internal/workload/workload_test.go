@@ -115,6 +115,70 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+func TestPowerLawShape(t *testing.T) {
+	in := Independent(Config{Jobs: 24, Machines: 8, Shape: PowerLaw, Seed: 10})
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Heavy tail: far more entries in the bottom third of the range
+	// than the top third.
+	lo, hi := 0, 0
+	for i := range in.P {
+		for _, p := range in.P[i] {
+			if p < 0.05+0.3*0.9 {
+				lo++
+			}
+			if p > 0.05+0.7*0.9 {
+				hi++
+			}
+		}
+	}
+	if lo <= 2*hi {
+		t.Errorf("power-law not heavy-tailed: %d low vs %d high entries", lo, hi)
+	}
+}
+
+func TestCorrelatedShapeIsRankOne(t *testing.T) {
+	in := Independent(Config{Jobs: 10, Machines: 5, Shape: Correlated, Lo: 0.1, Hi: 0.9, Seed: 11})
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// p = Lo + span·s_i·e_j, so (p[0][j]-Lo)/(p[1][j]-Lo) is constant
+	// over j: the speed ratio s_0/s_1.
+	ratio := (in.P[0][0] - 0.1) / (in.P[1][0] - 0.1)
+	for j := 1; j < in.N; j++ {
+		r := (in.P[0][j] - 0.1) / (in.P[1][j] - 0.1)
+		if r/ratio < 0.999 || r/ratio > 1.001 {
+			t.Fatalf("correlated matrix not rank one: ratio %v vs %v at job %d", r, ratio, j)
+		}
+	}
+}
+
+func TestLayeredWidthTunesWidth(t *testing.T) {
+	// Cross-layer antichains keep the dag width above the layer width,
+	// but the knob must still control it monotonically, and the layer
+	// structure fixes the depth exactly.
+	prev := 0
+	for _, width := range []int{2, 4, 6} {
+		in := LayeredWidth(Config{Jobs: 24, Machines: 4, Seed: 12}, width, 0.3)
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		got := in.Prec.Width()
+		if got < width {
+			t.Errorf("width %d: dag width %d below the layer width", width, got)
+		}
+		if got < prev {
+			t.Errorf("width %d: dag width %d decreased from %d", width, got, prev)
+		}
+		prev = got
+		wantDepth := (24 + width - 1) / width
+		if d := in.Prec.Depth(); d != wantDepth {
+			t.Errorf("width %d: depth %d, want %d layers", width, d, wantDepth)
+		}
+	}
+}
+
 func TestSpecialistShape(t *testing.T) {
 	in := Independent(Config{Jobs: 6, Machines: 3, Shape: Specialist, Lo: 0.1, Hi: 0.9, Seed: 9})
 	for i := 0; i < 3; i++ {

@@ -19,12 +19,9 @@ import (
 // optimism ≥ 0 scales a UCB-style exploration bonus (0.5–1.0 works
 // well; 0 disables exploration).
 func Learning(x *Instance, optimism float64) *Schedule {
-	return &Schedule{
-		policy:    core.NewLearningPolicy(x.inner, optimism),
-		Kind:      "learning (§5 online extension)",
-		Guarantee: "none (beyond the paper; Beta-Bernoulli posterior + MSM greedy)",
-		Adaptive:  true,
-	}
+	par := core.DefaultParams()
+	par.Optimism = optimism
+	return mustRegistrySchedule("learning", x, par)
 }
 
 // Gantt renders the first maxSteps steps of an oblivious schedule as a

@@ -7,6 +7,7 @@ import (
 	"suu/internal/core"
 	"suu/internal/sched"
 	"suu/internal/sim"
+	"suu/internal/solve"
 )
 
 // Schedule is a solved SUU schedule: either an oblivious schedule
@@ -117,22 +118,21 @@ const (
 	BaselineRandom Baseline = "random"
 )
 
-// NewBaseline returns the named baseline policy as a Schedule.
+// NewBaseline returns the named baseline policy as a Schedule. The
+// names are registry ids; every solver registered as a baseline in
+// internal/solve is accepted.
 func NewBaseline(x *Instance, b Baseline, seed int64) (*Schedule, error) {
-	var p sched.Policy
-	switch b {
-	case BaselineGreedy:
-		p = &core.GreedyMaxPPolicy{In: x.inner}
-	case BaselineRoundRobin:
-		p = &core.RoundRobinPolicy{In: x.inner}
-	case BaselineAllOnOne:
-		p = &core.AllOnOnePolicy{In: x.inner}
-	case BaselineRandom:
-		p = &core.RandomPolicy{In: x.inner, Rng: rand.New(rand.NewSource(seed))}
-	default:
+	s, ok := solve.Get(string(b))
+	if !ok || !s.Baseline {
 		return nil, fmt.Errorf("suu: unknown baseline %q", b)
 	}
-	return &Schedule{policy: p, Kind: string(b), Guarantee: "none (baseline)", Adaptive: true}, nil
+	par := core.DefaultParams()
+	par.Seed = seed
+	res, err := s.Build(x.inner, par)
+	if err != nil {
+		return nil, err
+	}
+	return fromResult(res), nil
 }
 
 // MakespanQuantiles estimates quantiles of the makespan distribution

@@ -28,9 +28,12 @@
 //	anything else     → level-decomposition fallback (correct; no
 //	                    polylog guarantee from the paper)
 //
-// Adaptive (Theorem 3.3) and combinatorial-oblivious (Theorem 3.6)
-// schedules, exact small-instance optima (Malewicz's dynamic program)
-// and several baselines are also exposed.
+// Every construction — the dispatch targets above, the adaptive
+// policy (Theorem 3.3), the combinatorial oblivious schedule
+// (Theorem 3.6), exact small-instance optima (Malewicz's dynamic
+// program), the online learner, and the baselines — lives in the
+// solver registry (internal/solve); Solve and the cmd/ tools are thin
+// dispatchers over it.
 package suu
 
 import (
@@ -38,9 +41,8 @@ import (
 	"fmt"
 
 	"suu/internal/core"
-	"suu/internal/dag"
 	"suu/internal/model"
-	"suu/internal/opt"
+	"suu/internal/solve"
 )
 
 // Instance is an SUU problem instance under construction.
@@ -153,45 +155,45 @@ func buildParams(opts []Option) core.Params {
 }
 
 // Solve computes an oblivious schedule using the strongest
-// construction the paper offers for the instance's precedence class
-// (see the package comment for the dispatch table).
+// construction the paper offers for the instance's precedence class:
+// it classifies the dag and dispatches to the best-ranked applicable
+// solver in the registry (see the package comment for the resulting
+// dispatch table).
 func Solve(x *Instance, opts ...Option) (*Schedule, error) {
 	if err := x.Validate(); err != nil {
 		return nil, err
 	}
-	par := buildParams(opts)
-	switch x.inner.Prec.Classify() {
-	case dag.ClassIndependent:
-		res, err := core.SUUIndependentLP(x.inner, par)
-		if err != nil {
-			return nil, err
-		}
-		return scheduleFromChains("oblivious-lp (Thm 4.5)", "O(log n · log min(n,m))", res), nil
-	case dag.ClassChains:
-		res, err := core.SUUChains(x.inner, par)
-		if err != nil {
-			return nil, err
-		}
-		return scheduleFromChains("chains (Thm 4.4)", "O(log m · log n · log(n+m)/loglog(n+m))", res), nil
-	case dag.ClassOutForest, dag.ClassInForest:
-		res, err := core.SUUForest(x.inner, par)
-		if err != nil {
-			return nil, err
-		}
-		return scheduleFromForest("trees (Thm 4.8)", "O(log m · log² n)", res), nil
-	case dag.ClassMixedForest:
-		res, err := core.SUUForest(x.inner, par)
-		if err != nil {
-			return nil, err
-		}
-		return scheduleFromForest("forest (Thm 4.7)", "O(log m · log² n · log(n+m)/loglog(n+m))", res), nil
-	default:
-		res, err := core.SUUForest(x.inner, par)
-		if err != nil {
-			return nil, err
-		}
-		return scheduleFromForest("level-fallback", "O(depth · chains-factor); outside the paper's classes", res), nil
+	_, res, err := solve.Auto(x.inner, buildParams(opts))
+	if err != nil {
+		return nil, err
 	}
+	return fromResult(res), nil
+}
+
+// registrySchedule builds the named registry solver; it panics on an
+// unknown id, which would be a programming error in this package.
+func registrySchedule(id string, x *Instance, par core.Params) (*Schedule, error) {
+	s, ok := solve.Get(id)
+	if !ok {
+		panic(fmt.Sprintf("suu: solver %q not registered", id))
+	}
+	res, err := s.Build(x.inner, par)
+	if err != nil {
+		return nil, err
+	}
+	return fromResult(res), nil
+}
+
+// mustRegistrySchedule is registrySchedule for the constructions whose
+// Build cannot fail (adaptive, learning): a panic here beats the nil
+// *Schedule a swallowed error would hand the caller if one of them
+// ever grows a failure path.
+func mustRegistrySchedule(id string, x *Instance, par core.Params) *Schedule {
+	s, err := registrySchedule(id, x, par)
+	if err != nil {
+		panic(fmt.Sprintf("suu: %s: %v", id, err))
+	}
+	return s
 }
 
 // Adaptive returns SUU-I-ALG (Theorem 3.3): the greedy adaptive policy
@@ -199,29 +201,14 @@ func Solve(x *Instance, opts ...Option) (*Schedule, error) {
 // independent jobs its expected makespan is O(log n)·OPT; with
 // precedence constraints it is a feasible greedy heuristic.
 func Adaptive(x *Instance) *Schedule {
-	return &Schedule{
-		policy:    &core.AdaptivePolicy{In: x.inner},
-		Kind:      "adaptive (Thm 3.3)",
-		Guarantee: "O(log n) for independent jobs",
-		Adaptive:  true,
-	}
+	return mustRegistrySchedule("adaptive", x, core.DefaultParams())
 }
 
 // ObliviousCombinatorial returns SUU-I-OBL (Theorem 3.6) for
 // independent jobs: a pure combinatorial (LP-free) oblivious schedule
 // with expected makespan O(log² n)·OPT.
 func ObliviousCombinatorial(x *Instance, opts ...Option) (*Schedule, error) {
-	res, err := core.SUUIOblivious(x.inner, buildParams(opts))
-	if err != nil {
-		return nil, err
-	}
-	return &Schedule{
-		policy:     res.Schedule,
-		Kind:       "oblivious-combinatorial (Thm 3.6)",
-		Guarantee:  "O(log² n) for independent jobs",
-		PrefixLen:  res.Schedule.Len(),
-		CoreLength: res.CoreLength,
-	}, nil
+	return registrySchedule("comb-oblivious", x, buildParams(opts))
 }
 
 // Optimal computes the exact optimal regimen and its expected makespan
@@ -229,16 +216,15 @@ func ObliviousCombinatorial(x *Instance, opts ...Option) (*Schedule, error) {
 // feasible for small instances; returns opt.ErrTooLarge beyond the
 // guards.
 func Optimal(x *Instance) (*Schedule, float64, error) {
-	reg, topt, err := opt.OptimalRegimen(x.inner)
+	s, ok := solve.Get("optimal")
+	if !ok {
+		panic("suu: optimal solver not registered")
+	}
+	res, err := s.Build(x.inner, core.DefaultParams())
 	if err != nil {
 		return nil, 0, err
 	}
-	return &Schedule{
-		policy:    reg,
-		Kind:      "optimal-regimen (exact DP)",
-		Guarantee: "exact",
-		Adaptive:  true,
-	}, topt, nil
+	return fromResult(res), res.ExactValue, nil
 }
 
 // LowerBound computes a certified lower bound on the optimal expected
@@ -259,25 +245,16 @@ func LowerBound(x *Instance, opts ...Option) (float64, error) {
 	return core.CombinedLowerBound(x.inner, fs.T), nil
 }
 
-func scheduleFromChains(kind, guarantee string, res *core.ChainsResult) *Schedule {
+// fromResult wraps a registry result in the public Schedule type.
+func fromResult(res *solve.Result) *Schedule {
 	return &Schedule{
-		policy:     res.Schedule,
-		Kind:       kind,
-		Guarantee:  guarantee,
-		PrefixLen:  res.Schedule.Len(),
+		policy:     res.Policy,
+		Kind:       res.Kind,
+		Guarantee:  res.Guarantee,
+		Adaptive:   res.Adaptive,
+		PrefixLen:  res.PrefixLen,
 		CoreLength: res.CoreLength,
-		LPValue:    res.TStar,
-		LowerBound: res.LowerBound,
-	}
-}
-
-func scheduleFromForest(kind, guarantee string, res *core.ForestResult) *Schedule {
-	return &Schedule{
-		policy:     res.Schedule,
-		Kind:       kind,
-		Guarantee:  guarantee,
-		PrefixLen:  res.Schedule.Len(),
-		CoreLength: res.CoreLength,
+		LPValue:    res.LPValue,
 		LowerBound: res.LowerBound,
 	}
 }
