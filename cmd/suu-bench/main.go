@@ -14,10 +14,17 @@
 //	suu-bench -json BENCH_sim.json
 //	                          # also benchmark the sim engine per
 //	                          # workload family, per-solver
-//	                          # construction cost, and grid-harness
+//	                          # construction cost (sparse vs dense LP
+//	                          # side by side), the LP layer in
+//	                          # isolation, and grid-harness
 //	                          # throughput, and write the JSON perf
 //	                          # record; CI uploads it so the perf
 //	                          # trajectory accumulates per PR
+//	suu-bench -lp             # benchmark ONLY the LP layer (build +
+//	                          # solve per family/size, sparse revised
+//	                          # simplex vs dense tableau) and print
+//	                          # the comparison table; with -json the
+//	                          # record holds just the lp_bench section
 //
 // Figure reproductions (F1, F3) live in suu-trace.
 package main
@@ -40,9 +47,29 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "grid-harness worker pool size (0 = GOMAXPROCS, 1 = sequential; tables are identical at any value)")
 		jsonPath = flag.String("json", "", "write engine benchmark results to this file (e.g. BENCH_sim.json)")
+		lpOnly   = flag.Bool("lp", false, "benchmark the LP layer in isolation and exit (skips the experiment drivers)")
 	)
 	flag.Parse()
 	cfg := exp.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+
+	if *lpOnly {
+		start := time.Now()
+		rows := exp.LPBenchmarks(cfg)
+		fmt.Println(exp.LPBenchTable(rows).Markdown())
+		fmt.Printf("_LP benchmarks completed in %.1fs_\n", time.Since(start).Seconds())
+		if *jsonPath != "" {
+			file := exp.NewSimBenchFile(cfg)
+			file.LPBench = rows
+			out, err := exp.WriteSimBenchJSON(file)
+			if err != nil {
+				log.Fatalf("marshal LP benchmarks: %v", err)
+			}
+			if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+				log.Fatalf("write %s: %v", *jsonPath, err)
+			}
+		}
+		return
+	}
 
 	ids := map[string]bool{}
 	if *only != "" {

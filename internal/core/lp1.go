@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"suu/internal/lp"
 	"suu/internal/model"
@@ -23,6 +24,59 @@ type FracSolution struct {
 	T float64
 	// Iterations reports simplex pivots, for the harness.
 	Iterations int
+	// Rows, Cols and Nnz are the LP's dimensions (constraint rows,
+	// structural variables, structural nonzeros), so the perf record
+	// tracks LP effort, not just wall-clock.
+	Rows, Cols, Nnz int
+}
+
+// LPWarm carries crash-basis information across the per-block LP
+// solves of a decomposition pipeline: the accumulated fractional load
+// each machine received in earlier blocks. The crash basis for the
+// next block starts each job's mass row on the machine with the best
+// success probability discounted by that load, so consecutive blocks
+// begin near a load-balanced vertex instead of the all-logical basis.
+type LPWarm struct {
+	load []float64
+}
+
+// NewLPWarm returns an empty warm-start context for m machines.
+func NewLPWarm(m int) *LPWarm { return &LPWarm{load: make([]float64, m)} }
+
+// note accumulates the fractional machine loads of a solved block.
+func (w *LPWarm) note(in *model.Instance, fs *FracSolution) {
+	for i := 0; i < in.M; i++ {
+		for _, j := range fs.Jobs {
+			w.load[i] += fs.X[i][j]
+		}
+	}
+}
+
+// score ranks machine i as the crash choice for a job with success
+// probability p: higher probability is better, discounted by the load
+// the machine already carries from earlier blocks.
+func (w *LPWarm) score(i int, p float64) float64 {
+	if w == nil {
+		return p
+	}
+	return p / (1 + w.load[i])
+}
+
+// lpOptions selects the LP solver variant for one solve.
+type lpOptions struct {
+	// dense routes the solve through the dense tableau oracle instead
+	// of the sparse revised simplex (cross-checks and benchmarks).
+	dense bool
+	// warm biases the crash basis across per-block solves (sparse path
+	// only).
+	warm *LPWarm
+}
+
+func (o lpOptions) solve(prob *lp.Problem, crash *lp.Basis) (*lp.Solution, error) {
+	if o.dense {
+		return prob.DenseSolve()
+	}
+	return prob.SolveFrom(crash)
 }
 
 // buildVars enumerates the x variables: one per (machine, job) pair
@@ -46,9 +100,20 @@ func buildVars(in *model.Instance, jobs []int) (pairs []pairPJ) {
 //	Σ_{j∈C_k} d_j ≤ t               ∀ chains C_k           (chain time)
 //	x_ij ≤ d_j, d_j ≥ 1, x_ij ≥ 0
 //
-// d_j ≥ 1 is enforced by the substitution d_j = d'_j + 1, d'_j ≥ 0.
+// d_j ≥ 1 is a native variable bound of the sparse solver (the dense
+// oracle synthesizes the equivalent row). The O(n·m) window rows
+// x_ij ≤ d_j — the bulk of the formulation, and almost all slack at
+// any optimum — are generated lazily on the sparse path: the LP is
+// solved without them, violated windows are added as rows, and the
+// re-solve warm-starts from the previous optimal basis extended with
+// the new rows' logicals. The working LP stays near the size of the
+// mass+load+chain core, which is what makes large scopes tractable.
 // The chains must be disjoint; their union is the job scope.
 func SolveLP1(in *model.Instance, chains [][]int, target float64) (*FracSolution, error) {
+	return solveLP1(in, chains, target, lpOptions{})
+}
+
+func solveLP1(in *model.Instance, chains [][]int, target float64, opts lpOptions) (*FracSolution, error) {
 	var jobs []int
 	chainOf := make(map[int]int)
 	for k, c := range chains {
@@ -65,58 +130,201 @@ func SolveLP1(in *model.Instance, chains [][]int, target float64) (*FracSolution
 	}
 	pairs := buildVars(in, jobs)
 	nv := len(pairs)
-	dBase := nv // d'_j variables, one per job in scope order
+	dBase := nv // d_j variables, one per job in scope order
 	tVar := nv + len(jobs)
-	prob := lp.NewProblem(tVar + 1)
-	prob.SetObjectiveCoef(tVar, 1)
-
-	dIdx := make(map[int]int, len(jobs))
-	for jj, j := range jobs {
-		dIdx[j] = dBase + jj
+	// posOf maps a job id to its position in the scope (and so to its
+	// mass row and d variable); slice-indexed lookups keep the builder
+	// map-free on the forest pipeline's many small block solves.
+	posOf := make([]int, in.N)
+	for j := range posOf {
+		posOf[j] = -1
 	}
-	// (mass) per job.
-	massTerms := make(map[int][]lp.Term)
-	// (load) per machine.
+	for jj, j := range jobs {
+		posOf[j] = jj
+	}
+	massTerms := make([][]lp.Term, len(jobs))
 	loadTerms := make([][]lp.Term, in.M)
 	for v, pr := range pairs {
-		massTerms[pr.j] = append(massTerms[pr.j], lp.Term{Var: v, Coef: pr.p})
+		jj := posOf[pr.j]
+		massTerms[jj] = append(massTerms[jj], lp.Term{Var: v, Coef: pr.p})
 		loadTerms[pr.i] = append(loadTerms[pr.i], lp.Term{Var: v, Coef: 1})
-		// x_ij ≤ d_j  ⇔  x_ij − d'_j ≤ 1.
-		prob.AddConstraint([]lp.Term{{Var: v, Coef: 1}, {Var: dIdx[pr.j], Coef: -1}}, lp.LE, 1)
 	}
-	for _, j := range jobs {
-		terms := massTerms[j]
-		if len(terms) == 0 {
+	for jj, j := range jobs {
+		if len(massTerms[jj]) == 0 {
 			return nil, fmt.Errorf("core: job %d has no capable machine", j)
 		}
-		prob.AddConstraint(terms, lp.GE, target)
 	}
-	for i := 0; i < in.M; i++ {
-		if len(loadTerms[i]) == 0 {
-			continue
+	// Row layout (the crash basis depends on it): mass rows first (row
+	// index == job position in scope), then load and chain rows, then
+	// whatever window rows the working set carries, in insertion order.
+	build := func(windows []int) *lp.Problem {
+		prob := lp.NewProblem(tVar + 1)
+		prob.SetObjectiveCoef(tVar, 1)
+		for jj := range jobs {
+			prob.SetBounds(dBase+jj, 1, math.Inf(1))
 		}
-		terms := append(append([]lp.Term(nil), loadTerms[i]...), lp.Term{Var: tVar, Coef: -1})
-		prob.AddConstraint(terms, lp.LE, 0)
-	}
-	for _, c := range chains {
-		terms := make([]lp.Term, 0, len(c)+1)
-		for _, j := range c {
-			terms = append(terms, lp.Term{Var: dIdx[j], Coef: 1})
+		for jj := range jobs {
+			prob.AddConstraint(massTerms[jj], lp.GE, target)
 		}
-		terms = append(terms, lp.Term{Var: tVar, Coef: -1})
-		prob.AddConstraint(terms, lp.LE, -float64(len(c)))
+		for i := 0; i < in.M; i++ {
+			if len(loadTerms[i]) == 0 {
+				continue
+			}
+			terms := append(append([]lp.Term(nil), loadTerms[i]...), lp.Term{Var: tVar, Coef: -1})
+			prob.AddConstraint(terms, lp.LE, 0)
+		}
+		for _, c := range chains {
+			terms := make([]lp.Term, 0, len(c)+1)
+			for _, j := range c {
+				terms = append(terms, lp.Term{Var: dBase + posOf[j], Coef: 1})
+			}
+			terms = append(terms, lp.Term{Var: tVar, Coef: -1})
+			prob.AddConstraint(terms, lp.LE, 0)
+		}
+		for _, v := range windows {
+			pr := pairs[v]
+			prob.AddConstraint([]lp.Term{{Var: v, Coef: 1}, {Var: dBase + posOf[pr.j], Coef: -1}}, lp.LE, 0)
+		}
+		return prob
 	}
 
-	sol, err := prob.Solve()
-	if err != nil {
-		return nil, fmt.Errorf("core: LP1 solve: %w", err)
+	var sol *lp.Solution
+	if opts.dense {
+		// The oracle solves the full formulation in one shot.
+		all := make([]int, nv)
+		for v := range all {
+			all[v] = v
+		}
+		s, err := build(all).DenseSolve()
+		if err != nil {
+			return nil, fmt.Errorf("core: LP1 solve: %w", err)
+		}
+		sol = s
+	} else {
+		s, err := solveLP1Lazy(build, jobs, pairs, dBase, posOf, opts.warm)
+		if err != nil {
+			return nil, fmt.Errorf("core: LP1 solve: %w", err)
+		}
+		sol = s
 	}
-	return extractSolution(in, jobs, pairs, sol, dIdx, tVar), nil
+	dVarOf := make([]int, in.N)
+	for j := range dVarOf {
+		dVarOf[j] = -1
+	}
+	for jj, j := range jobs {
+		dVarOf[j] = dBase + jj
+	}
+	fs := extractSolution(in, jobs, pairs, sol, dVarOf, tVar)
+	if opts.warm != nil {
+		opts.warm.note(in, fs)
+	}
+	return fs, nil
+}
+
+// solveLP1Lazy solves (LP1) with the window rows generated as lazy
+// cuts: the working LP starts with only the mass/load/chain core, and
+// every separation round appends the violated x_ij ≤ d_j rows
+// in-place (the solver keeps its basis; the new rows' logicals enter
+// phase 1 infeasible by exactly the violation). The result is optimal
+// for the full (LP1): the working LP is a relaxation, and its
+// optimum satisfies every dropped row.
+func solveLP1Lazy(build func([]int) *lp.Problem, jobs []int, pairs []pairPJ, dBase int, posOf []int, warm *LPWarm) (*lp.Solution, error) {
+	const windowTol = 1e-8
+	inWindows := make([]bool, len(pairs))
+	dVar := make([]int32, len(pairs))
+	for v, pr := range pairs {
+		dVar[v] = int32(dBase + posOf[pr.j])
+	}
+	prob := build(nil)
+	return prob.SolveLazy(crashBasis(prob, jobs, pairs, warm), func(x []float64) []lp.Cut {
+		// Add every violated window, and — only in rounds that already
+		// found violations — the near-binding ones (x within 25% of the
+		// window), which almost always bind after the violated rows
+		// tighten the optimum. The anticipation saves separation rounds
+		// without inflating the working set when the LP is done.
+		var cuts []lp.Cut
+		violated := false
+		for v := range pairs {
+			if !inWindows[v] && x[v] > x[dVar[v]]+windowTol {
+				violated = true
+				break
+			}
+		}
+		if !violated {
+			return nil
+		}
+		for v := range pairs {
+			if !inWindows[v] && x[v] > 0.75*x[dVar[v]] {
+				inWindows[v] = true
+				cuts = append(cuts, lp.Cut{
+					Terms: []lp.Term{{Var: v, Coef: 1}, {Var: int(dVar[v]), Coef: -1}},
+					Rel:   lp.LE,
+					Rhs:   0,
+				})
+			}
+		}
+		return cuts
+	})
+}
+
+// crashBasis builds the starting basis for an (LP1)/(LP2) solve:
+// every row starts on its logical except the mass rows (rows 0..q-1
+// by the shared row layout) — the only rows infeasible at the
+// all-logical start — which start on the x variable of the
+// crash-chosen machine. The basis is nonsingular by construction
+// (expanding along the unit columns leaves a diagonal of positive
+// mass-row entries), and it typically saves most of the phase-1
+// pivots that a cold start spends making the mass rows feasible one
+// by one.
+func crashBasis(prob *lp.Problem, jobs []int, pairs []pairPJ, warm *LPWarm) *lp.Basis {
+	bestVar := make([]int, len(jobs))
+	bestScore := make([]float64, len(jobs))
+	for jj := range jobs {
+		bestVar[jj] = -1
+	}
+	// pairs are emitted job-major (buildVars iterates the scope in
+	// order), so the running position tracks the job without a lookup.
+	jj := -1
+	lastJob := -1
+	for v, pr := range pairs {
+		if pr.j != lastJob {
+			jj++
+			lastJob = pr.j
+		}
+		if s := warm.score(pr.i, pr.p); bestVar[jj] < 0 || s > bestScore[jj] {
+			bestVar[jj], bestScore[jj] = v, s
+		}
+	}
+	basic := make([]int, prob.NumConstraints())
+	for r := range basic {
+		basic[r] = prob.LogicalVar(r)
+	}
+	for jj := range jobs {
+		if bestVar[jj] >= 0 {
+			basic[jj] = bestVar[jj]
+		}
+	}
+	return &lp.Basis{Basic: basic}
+}
+
+// SolveLP1Bench is SolveLP1 with explicit backend selection (dense =
+// the tableau oracle), for the LP benchmark harness and cross-checks.
+func SolveLP1Bench(in *model.Instance, chains [][]int, target float64, dense bool) (*FracSolution, error) {
+	return solveLP1(in, chains, target, lpOptions{dense: dense})
+}
+
+// SolveLP2Bench is SolveLP2 with explicit backend selection.
+func SolveLP2Bench(in *model.Instance, jobs []int, target float64, dense bool) (*FracSolution, error) {
+	return solveLP2(in, jobs, target, lpOptions{dense: dense})
 }
 
 // SolveLP2 formulates and solves (LP2) of Theorem 4.5 — (LP1) without
 // the chain/window constraints — for an independent job scope.
 func SolveLP2(in *model.Instance, jobs []int, target float64) (*FracSolution, error) {
+	return solveLP2(in, jobs, target, lpOptions{})
+}
+
+func solveLP2(in *model.Instance, jobs []int, target float64, opts lpOptions) (*FracSolution, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("core: empty job scope")
 	}
@@ -131,6 +339,7 @@ func SolveLP2(in *model.Instance, jobs []int, target float64) (*FracSolution, er
 		massTerms[pr.j] = append(massTerms[pr.j], lp.Term{Var: v, Coef: pr.p})
 		loadTerms[pr.i] = append(loadTerms[pr.i], lp.Term{Var: v, Coef: 1})
 	}
+	// Mass rows first — the shared row layout crashBasis relies on.
 	for _, j := range jobs {
 		terms := massTerms[j]
 		if len(terms) == 0 {
@@ -145,30 +354,38 @@ func SolveLP2(in *model.Instance, jobs []int, target float64) (*FracSolution, er
 		terms := append(append([]lp.Term(nil), loadTerms[i]...), lp.Term{Var: tVar, Coef: -1})
 		prob.AddConstraint(terms, lp.LE, 0)
 	}
-	sol, err := prob.Solve()
+	sol, err := opts.solve(prob, crashBasis(prob, jobs, pairs, opts.warm))
 	if err != nil {
 		return nil, fmt.Errorf("core: LP2 solve: %w", err)
 	}
-	return extractSolution(in, jobs, pairs, sol, nil, tVar), nil
+	fs := extractSolution(in, jobs, pairs, sol, nil, tVar)
+	if opts.warm != nil {
+		opts.warm.note(in, fs)
+	}
+	return fs, nil
 }
 
-func extractSolution(in *model.Instance, jobs []int, pairs []pairPJ, sol *lp.Solution, dIdx map[int]int, tVar int) *FracSolution {
+func extractSolution(in *model.Instance, jobs []int, pairs []pairPJ, sol *lp.Solution, dVarOf []int, tVar int) *FracSolution {
 	fs := &FracSolution{
 		Jobs:       append([]int(nil), jobs...),
 		X:          make([][]float64, in.M),
 		D:          make([]float64, in.N),
 		T:          sol.X[tVar],
 		Iterations: sol.Iterations,
+		Rows:       sol.Rows,
+		Cols:       sol.Cols,
+		Nnz:        sol.Nnz,
 	}
+	flat := make([]float64, in.M*in.N)
 	for i := range fs.X {
-		fs.X[i] = make([]float64, in.N)
+		fs.X[i] = flat[i*in.N : (i+1)*in.N : (i+1)*in.N]
 	}
 	for v, pr := range pairs {
 		fs.X[pr.i][pr.j] = sol.X[v]
 	}
 	for _, j := range jobs {
-		if dIdx != nil {
-			fs.D[j] = sol.X[dIdx[j]] + 1
+		if dVarOf != nil {
+			fs.D[j] = sol.X[dVarOf[j]]
 		} else {
 			fs.D[j] = 1
 		}

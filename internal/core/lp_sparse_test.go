@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"suu/internal/model"
+	"suu/internal/workload"
+)
+
+// checkLP1Feasible asserts that a fractional solution satisfies every
+// (LP1) constraint — including the window rows the sparse path
+// generates lazily, so a missed cut fails loudly here.
+func checkLP1Feasible(t *testing.T, in *model.Instance, chains [][]int, fs *FracSolution, target float64) {
+	t.Helper()
+	const tol = 1e-6
+	for _, c := range chains {
+		sumD := 0.0
+		for _, j := range c {
+			if fs.D[j] < 1-tol {
+				t.Errorf("d[%d]=%v below 1", j, fs.D[j])
+			}
+			sumD += fs.D[j]
+		}
+		if sumD > fs.T+tol {
+			t.Errorf("chain %v window sum %v exceeds T=%v", c, sumD, fs.T)
+		}
+	}
+	for i := 0; i < in.M; i++ {
+		load := 0.0
+		for _, j := range fs.Jobs {
+			x := fs.X[i][j]
+			if x < -tol {
+				t.Errorf("x[%d][%d]=%v negative", i, j, x)
+			}
+			if x > fs.D[j]+tol {
+				t.Errorf("window violated: x[%d][%d]=%v > d=%v", i, j, x, fs.D[j])
+			}
+			load += x
+		}
+		if load > fs.T+tol {
+			t.Errorf("machine %d load %v exceeds T=%v", i, load, fs.T)
+		}
+	}
+	for _, j := range fs.Jobs {
+		mass := 0.0
+		for i := 0; i < in.M; i++ {
+			mass += in.P[i][j] * fs.X[i][j]
+		}
+		if mass < target-tol {
+			t.Errorf("job %d mass %v below target %v", j, mass, target)
+		}
+	}
+}
+
+// TestLP1SparseDenseParity pins the lazily-cut sparse solve to the
+// dense oracle across workload shapes: identical T* within LP
+// tolerance, and a fully feasible sparse solution.
+func TestLP1SparseDenseParity(t *testing.T) {
+	cases := []struct {
+		name  string
+		shape workload.ProbShape
+		n, m  int
+		ch    int
+	}{
+		{"uniform-24x6", workload.Uniform, 24, 6, 4},
+		{"uniform-48x8", workload.Uniform, 48, 8, 6},
+		{"specialist-32x8", workload.Specialist, 32, 8, 4},
+		{"bimodal-32x6", workload.Bimodal, 32, 6, 8},
+		{"powerlaw-24x6", workload.PowerLaw, 24, 6, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				in := workload.Chains(workload.Config{Jobs: tc.n, Machines: tc.m, Seed: seed, Shape: tc.shape}, tc.ch)
+				chains, err := in.Prec.Chains()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sparse, err := solveLP1(in, chains, 0.5, lpOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dense, err := solveLP1(in, chains, 0.5, lpOptions{dense: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(sparse.T-dense.T) > 1e-6*math.Max(1, dense.T) {
+					t.Fatalf("seed %d: T* parity broken: sparse %v vs dense %v", seed, sparse.T, dense.T)
+				}
+				checkLP1Feasible(t, in, chains, sparse, 0.5)
+			}
+		})
+	}
+}
+
+func TestLP2SparseDenseParity(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		in := workload.Independent(workload.Config{Jobs: 40, Machines: 10, Seed: seed})
+		jobs := make([]int, in.N)
+		for j := range jobs {
+			jobs[j] = j
+		}
+		sparse, err := solveLP2(in, jobs, 0.5, lpOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := solveLP2(in, jobs, 0.5, lpOptions{dense: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sparse.T-dense.T) > 1e-6*math.Max(1, dense.T) {
+			t.Fatalf("seed %d: T* parity broken: sparse %v vs dense %v", seed, sparse.T, dense.T)
+		}
+	}
+}
+
+// TestLPStatsExposed checks the satellite contract: FracSolution
+// reports pivots and LP dimensions.
+func TestLPStatsExposed(t *testing.T) {
+	in := workload.Chains(workload.Config{Jobs: 24, Machines: 6, Seed: 5}, 4)
+	chains, _ := in.Prec.Chains()
+	fs, err := SolveLP1(in, chains, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Iterations < 1 || fs.Rows < 24+6+4 || fs.Cols < 24 || fs.Nnz < fs.Rows {
+		t.Errorf("LP stats implausible: iters=%d rows=%d cols=%d nnz=%d",
+			fs.Iterations, fs.Rows, fs.Cols, fs.Nnz)
+	}
+	res, err := SUUChains(in, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LPPivots != fs.Iterations || res.LPRows != fs.Rows || res.LPNnz != fs.Nnz {
+		t.Errorf("ChainsResult LP stats drift: %+v vs FracSolution iters=%d rows=%d nnz=%d",
+			res, fs.Iterations, fs.Rows, fs.Nnz)
+	}
+}
+
+// TestForestWarmStartParity: the warm-started per-block solves must
+// reach the same per-block optima as isolated cold solves (the crash
+// bias may change the vertex and the pivot count, never T*).
+func TestForestWarmStartParity(t *testing.T) {
+	in := workload.OutTree(workload.Config{Jobs: 48, Machines: 8, Seed: 9})
+	res, err := SUUForest(in, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := in.Prec.ChainDecomposition()
+	if len(res.BlockResults) != len(dc.Blocks) {
+		t.Fatalf("block count mismatch: %d vs %d", len(res.BlockResults), len(dc.Blocks))
+	}
+	for bi, block := range dc.Blocks {
+		cold, err := SolveLP1(in, block.Chains, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmT := res.BlockResults[bi].TStar
+		if math.Abs(cold.T-warmT) > 1e-6*math.Max(1, cold.T) {
+			t.Errorf("block %d: warm T*=%v vs cold T*=%v", bi, warmT, cold.T)
+		}
+	}
+	if res.LPPivots <= 0 || res.LPRows <= 0 {
+		t.Errorf("forest LP stats missing: %+v", res)
+	}
+}
+
+// TestDenseLPPipelineParity runs the whole chains pipeline under both
+// LP backends: the schedules may differ (different optimal vertices)
+// but T*, the lower bound, and the certified mass must agree.
+func TestDenseLPPipelineParity(t *testing.T) {
+	in := workload.Chains(workload.Config{Jobs: 32, Machines: 6, Seed: 3}, 4)
+	par := DefaultParams()
+	sparse, err := SUUChains(in, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.DenseLP = true
+	dense, err := SUUChains(in, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sparse.TStar-dense.TStar) > 1e-6*math.Max(1, dense.TStar) {
+		t.Errorf("T* drift: sparse %v dense %v", sparse.TStar, dense.TStar)
+	}
+	if math.Abs(sparse.LowerBound-dense.LowerBound) > 1e-6*math.Max(1, dense.LowerBound) {
+		t.Errorf("lower bound drift: sparse %v dense %v", sparse.LowerBound, dense.LowerBound)
+	}
+	if sparse.MassAchieved < par.MassTarget || dense.MassAchieved < par.MassTarget {
+		t.Errorf("mass target missed: sparse %v dense %v", sparse.MassAchieved, dense.MassAchieved)
+	}
+}

@@ -46,6 +46,11 @@ type Params struct {
 	// Optimism scales the UCB-style exploration bonus of the online
 	// learning policy (§5 extension); 0 disables exploration.
 	Optimism float64
+	// DenseLP routes the (LP1)/(LP2) solves through the dense tableau
+	// oracle instead of the sparse revised simplex. The schedules it
+	// yields may sit at a different optimal vertex; T* is identical up
+	// to LP tolerance. Used by cross-checks and the benchmark harness.
+	DenseLP bool
 }
 
 // DefaultParams returns the paper's constants.

@@ -82,6 +82,28 @@ func PackSequential(in *model.Instance, x [][]int) *sched.Oblivious {
 	return &sched.Oblivious{M: in.M, Steps: steps}
 }
 
+// splitMixSource is a SplitMix64-backed rand.Source64: statistically
+// solid for the delay search and ~500× cheaper to seed than the
+// stdlib source, which matters when the forest pipeline builds one
+// per decomposition block.
+type splitMixSource struct{ s uint64 }
+
+func newSplitMixSource(seed int64) *splitMixSource {
+	return &splitMixSource{s: uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+}
+
+func (s *splitMixSource) Uint64() uint64 {
+	s.s += 0x9e3779b97f4a7c15
+	z := s.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitMixSource) Seed(seed int64) { *s = *newSplitMixSource(seed) }
+
 // finishSchedule replicates the core prefix σ times and appends the
 // topological round-robin tail Σ_o,3 (Section 4.1's schedule
 // replication), producing the final oblivious schedule.
@@ -110,6 +132,9 @@ type ChainsResult struct {
 	Delays []int
 	// Round is the integral rounding used.
 	Round *IntSolution
+	// LPPivots, LPRows, LPCols and LPNnz report the LP solve's effort
+	// and dimensions, for the perf harness.
+	LPPivots, LPRows, LPCols, LPNnz int
 }
 
 // SUUChains is the algorithm of Theorem 4.4 for disjoint-chain
@@ -132,7 +157,7 @@ func SUUChains(in *model.Instance, par Params) (*ChainsResult, error) {
 // chainsOnBlocks runs the chain pipeline on an explicit chain set
 // (either the whole instance's chains or one decomposition block).
 func chainsOnBlocks(in *model.Instance, chains [][]int, par Params) (*ChainsResult, error) {
-	return chainsOnBlocksDelayed(in, chains, par, 0)
+	return chainsOnBlocksDelayed(in, chains, par, 0, nil)
 }
 
 // SUUChainsOnBlock runs the Theorem 4.4 chain pipeline (full
@@ -141,16 +166,18 @@ func chainsOnBlocks(in *model.Instance, chains [][]int, par Params) (*ChainsResu
 // by the delay-range ablation; SUUChains validates the whole dag is
 // chains, this entry point trusts the caller's chain set.
 func SUUChainsOnBlock(in *model.Instance, chains [][]int, par Params) (*ChainsResult, error) {
-	return chainsOnBlocksDelayed(in, chains, par, 0)
+	return chainsOnBlocksDelayed(in, chains, par, 0, nil)
 }
 
 // chainsOnBlocksDelayed is chainsOnBlocks with an explicit delay-range
 // divisor: delays are drawn from [0, Π_max/divisor] (divisor <= 1
 // means the full [0, Π_max] range of Theorem 4.4). Theorem 4.8's
 // specialized tree analysis samples from [0, O(Π_max/log n)], trading
-// slightly higher congestion for much shorter delayed prefixes.
-func chainsOnBlocksDelayed(in *model.Instance, chains [][]int, par Params, divisor int) (*ChainsResult, error) {
-	frac, err := SolveLP1(in, chains, par.MassTarget)
+// slightly higher congestion for much shorter delayed prefixes. warm
+// (may be nil) carries the crash-basis bias across a decomposition's
+// per-block solves.
+func chainsOnBlocksDelayed(in *model.Instance, chains [][]int, par Params, divisor int, warm *LPWarm) (*ChainsResult, error) {
+	frac, err := solveLP1(in, chains, par.MassTarget, lpOptions{dense: par.DenseLP, warm: warm})
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +194,7 @@ func chainsOnBlocksDelayed(in *model.Instance, chains [][]int, par Params, divis
 			maxDelay = 1
 		}
 	}
-	rng := rand.New(rand.NewSource(par.Seed))
+	rng := rand.New(newSplitMixSource(par.Seed))
 	delays, cong := pseudo.BestDelays(maxDelay, par.DelayTries, rng)
 	flat := pseudo.WithDelays(delays).Flatten().Compact()
 
@@ -192,6 +219,10 @@ func chainsOnBlocksDelayed(in *model.Instance, chains [][]int, par Params, divis
 		Congestion: cong,
 		Delays:     delays,
 		Round:      ints,
+		LPPivots:   frac.Iterations,
+		LPRows:     frac.Rows,
+		LPCols:     frac.Cols,
+		LPNnz:      frac.Nnz,
 	}, nil
 }
 
@@ -210,7 +241,7 @@ func SUUIndependentLP(in *model.Instance, par Params) (*ChainsResult, error) {
 	for j := range jobs {
 		jobs[j] = j
 	}
-	frac, err := SolveLP2(in, jobs, par.MassTarget)
+	frac, err := solveLP2(in, jobs, par.MassTarget, lpOptions{dense: par.DenseLP})
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +266,10 @@ func SUUIndependentLP(in *model.Instance, par Params) (*ChainsResult, error) {
 		MaxLoad:    packed.Len(),
 		Congestion: 1,
 		Round:      ints,
+		LPPivots:   frac.Iterations,
+		LPRows:     frac.Rows,
+		LPCols:     frac.Cols,
+		LPNnz:      frac.Nnz,
 	}, nil
 }
 
@@ -250,6 +285,10 @@ type ForestResult struct {
 	// a subset of the jobs, so each bound is valid for the full
 	// instance).
 	LowerBound float64
+	// LPPivots totals the simplex pivots across all block solves;
+	// LPRows, LPCols and LPNnz report the largest block LP's
+	// dimensions.
+	LPPivots, LPRows, LPCols, LPNnz int
 }
 
 // SUUForest is the algorithm of Theorems 4.7 and 4.8: decompose the
@@ -277,12 +316,21 @@ func SUUForest(in *model.Instance, par Params) (*ForestResult, error) {
 	case "rank-out", "rank-in", "per-component":
 		divisor = log2Ceil(in.N)
 	}
+	// Consecutive block solves share a warm-start context: each block's
+	// crash basis is biased away from the machines earlier blocks
+	// loaded, which shortens phase 1 measurably on specialist-shaped
+	// instances.
+	warm := NewLPWarm(in.M)
 	for bi, block := range dc.Blocks {
-		br, err := chainsOnBlocksDelayed(in, block.Chains, par, divisor)
+		br, err := chainsOnBlocksDelayed(in, block.Chains, par, divisor, warm)
 		if err != nil {
 			return nil, fmt.Errorf("core: block %d: %w", bi, err)
 		}
 		res.BlockResults = append(res.BlockResults, br)
+		res.LPPivots += br.LPPivots
+		if br.LPRows > res.LPRows {
+			res.LPRows, res.LPCols, res.LPNnz = br.LPRows, br.LPCols, br.LPNnz
+		}
 		if br.LowerBound > res.LowerBound {
 			res.LowerBound = br.LowerBound
 		}

@@ -115,8 +115,9 @@ func RoundLP(in *model.Instance, fs *FracSolution, target float64) (*IntSolution
 		Scale:  1,
 		Lambda: 1,
 	}
+	flat := make([]int, in.M*in.N)
 	for i := range out.X {
-		out.X[i] = make([]int, in.N)
+		out.X[i] = flat[i*in.N : (i+1)*in.N : (i+1)*in.N]
 	}
 
 	if fs.T >= float64(q) {

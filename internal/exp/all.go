@@ -18,6 +18,7 @@ var Drivers = []struct {
 	{"T11", T11},
 	{"T12", T12},
 	{"T13", T13},
+	{"T14", T14},
 	{"A1", A1},
 	{"A2", A2},
 	{"A3", A3},

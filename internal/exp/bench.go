@@ -48,6 +48,9 @@ type SimBench struct {
 // SolverBuildBench is one row of the per-solver construction-cost
 // section: how long the registry solver takes to build a schedule on
 // its reference workload (LP solves dominate the LP-based pipelines).
+// For LP-backed solvers the dense tableau oracle is timed side by
+// side, so every BENCH_sim.json records the sparse-vs-dense speedup
+// on the machine that produced it.
 type SolverBuildBench struct {
 	Solver   string `json:"solver"`
 	Theorem  string `json:"theorem,omitempty"`
@@ -58,7 +61,17 @@ type SolverBuildBench struct {
 	// three runs, to shed scheduler noise).
 	BuildMS   float64 `json:"build_ms"`
 	PrefixLen int     `json:"prefix_len,omitempty"`
-	Error     string  `json:"error,omitempty"`
+	// LPPivots and the LP dimensions track simplex effort, not just
+	// wall-clock (zero for non-LP solvers).
+	LPPivots int `json:"lp_pivots,omitempty"`
+	LPRows   int `json:"lp_rows,omitempty"`
+	LPCols   int `json:"lp_cols,omitempty"`
+	LPNnz    int `json:"lp_nnz,omitempty"`
+	// DenseBuildMS is the same construction forced through the dense
+	// LP oracle (best of three); SpeedupVsDense = DenseBuildMS/BuildMS.
+	DenseBuildMS   float64 `json:"dense_build_ms,omitempty"`
+	SpeedupVsDense float64 `json:"speedup_vs_dense,omitempty"`
+	Error          string  `json:"error,omitempty"`
 }
 
 // GridHarnessBench records the scenario-grid harness's throughput:
@@ -83,6 +96,9 @@ type SimBenchFile struct {
 	// SolverBuilds records per-solver construction cost across the
 	// registry.
 	SolverBuilds []SolverBuildBench `json:"solver_build"`
+	// LPBench records the LP layer benchmarked in isolation
+	// (build+solve per family/size, sparse vs dense).
+	LPBench []LPBench `json:"lp_bench,omitempty"`
 	// Grid records the scenario-grid harness's cell throughput and
 	// parallel speedup.
 	Grid *GridHarnessBench `json:"grid_harness,omitempty"`
@@ -131,6 +147,18 @@ func simBenchCases() []simBenchCase {
 	}
 }
 
+// NewSimBenchFile returns a BENCH_sim.json document with only the
+// environment header filled in.
+func NewSimBenchFile(cfg Config) SimBenchFile {
+	return SimBenchFile{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      cfg.Quick,
+		Seed:       cfg.Seed,
+	}
+}
+
 // SimBenchmarks measures engine throughput on every workload family.
 // Construction happens outside the timed region.
 func SimBenchmarks(cfg Config) SimBenchFile {
@@ -138,13 +166,7 @@ func SimBenchmarks(cfg Config) SimBenchFile {
 	if cfg.Quick {
 		reps = 400
 	}
-	file := SimBenchFile{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Quick:      cfg.Quick,
-		Seed:       cfg.Seed,
-	}
+	file := NewSimBenchFile(cfg)
 	for _, bc := range simBenchCases() {
 		in, pol, polName, err := bc.build(cfg.Seed)
 		if err != nil {
@@ -177,6 +199,7 @@ func SimBenchmarks(cfg Config) SimBenchFile {
 		})
 	}
 	file.SolverBuilds = SolverBuildBenchmarks(cfg)
+	file.LPBench = LPBenchmarks(cfg)
 	file.Grid = GridHarnessBenchmark(cfg)
 	return file
 }
@@ -218,22 +241,50 @@ func SolverBuildBenchmarks(cfg Config) []SolverBuildBench {
 		row := SolverBuildBench{
 			Solver: s.ID, Theorem: s.Theorem, Family: family, Jobs: in.N, Machines: in.M,
 		}
+		par := paramsWithSeed(sim.SeedFor(seed, "build"))
 		best := -1.0
 		for try := 0; try < 3; try++ {
 			start := time.Now()
-			res, err := s.Build(in, paramsWithSeed(sim.SeedFor(seed, "build")))
+			res, err := s.Build(in, par)
 			elapsed := float64(time.Since(start).Nanoseconds()) / 1e6
 			if err != nil {
 				row.Error = err.Error()
 				break
 			}
 			row.PrefixLen = res.PrefixLen
+			row.LPPivots = res.LPPivots
+			row.LPRows = res.LPRows
+			row.LPCols = res.LPCols
+			row.LPNnz = res.LPNnz
 			if best < 0 || elapsed < best {
 				best = elapsed
 			}
 		}
 		if best >= 0 {
 			row.BuildMS = best
+		}
+		// LP-backed solvers: rebuild with the dense oracle for the
+		// side-by-side record.
+		if row.Error == "" && row.LPPivots > 0 {
+			parDense := par
+			parDense.DenseLP = true
+			bestDense := -1.0
+			for try := 0; try < 3; try++ {
+				start := time.Now()
+				if _, err := s.Build(in, parDense); err != nil {
+					bestDense = -1
+					break
+				}
+				if elapsed := float64(time.Since(start).Nanoseconds()) / 1e6; bestDense < 0 || elapsed < bestDense {
+					bestDense = elapsed
+				}
+			}
+			if bestDense > 0 {
+				row.DenseBuildMS = bestDense
+				if row.BuildMS > 0 {
+					row.SpeedupVsDense = bestDense / row.BuildMS
+				}
+			}
 		}
 		out = append(out, row)
 	}

@@ -209,7 +209,10 @@ type GridResult struct {
 	// BuildTime is the construction's wall-clock cost (LP solve etc.),
 	// excluded from determinism comparisons.
 	BuildTime time.Duration
-	Err       error
+	// LPPivots reports the construction's simplex effort (0 for non-LP
+	// solvers), also excluded from determinism comparisons.
+	LPPivots int
+	Err      error
 }
 
 // pointSeed derives the seed shared by every solver at one (point,
@@ -255,6 +258,7 @@ func EvalCell(cfg Config, c GridCell) GridResult {
 		Mean:       mean,
 		LowerBound: res.LowerBound,
 		BuildTime:  bt,
+		LPPivots:   res.LPPivots,
 	}
 }
 

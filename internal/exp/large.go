@@ -1,0 +1,51 @@
+package exp
+
+// T14 exercises the grid vocabulary at instance sizes the dense
+// tableau could not touch: 512 independent jobs through (LP2) and
+// 256-job chains/forests through per-block (LP1) solves. These cells
+// exist because the sparse revised simplex keeps the working LP at
+// the size of its binding rows; the table records build wall-clock
+// and pivot counts so the large-instance path has a perf trail in
+// every run, not just in BENCH_sim.json.
+func T14(cfg Config) *Table {
+	t := &Table{
+		ID:         "T14",
+		Title:      "Large instances via sparse revised simplex",
+		PaperBound: "polynomial time (the paper's claim), demonstrated at 256–512 jobs",
+		Header:     []string{"scenario", "n", "m", "solver", "build ms", "LP pivots", "E[makespan]", "lower bound"},
+	}
+	points := []struct {
+		p      GridPoint
+		solver string
+	}{
+		{GridPoint{Scenario: "independent", Jobs: 512, Machines: 16}, "lp-oblivious"},
+		{GridPoint{Scenario: "chains", Jobs: 256, Machines: 8, Arg: 16}, "chains"},
+		{GridPoint{Scenario: "out-tree", Jobs: 256, Machines: 8}, "forest"},
+	}
+	if cfg.Quick {
+		points[0].p.Jobs = 256
+		points[1].p.Jobs, points[1].p.Arg = 128, 8
+		points[2].p.Jobs = 128
+	}
+	for _, pt := range points {
+		results := RunGrid(cfg, GridSpec{Points: []GridPoint{pt.p}, Solvers: []string{pt.solver}, Trials: 1})
+		for _, r := range results {
+			if r.Err != nil {
+				t.Rows = append(t.Rows, []string{pt.p.Scenario, d(pt.p.Jobs), d(pt.p.Machines), pt.solver, "—", "—", "error: " + r.Err.Error(), "—"})
+				continue
+			}
+			mean := "step cap hit"
+			if r.Mean >= 0 {
+				mean = f2(r.Mean)
+			}
+			t.Rows = append(t.Rows, []string{
+				pt.p.Scenario, d(pt.p.Jobs), d(pt.p.Machines), pt.solver,
+				f2(float64(r.BuildTime.Microseconds()) / 1000), d(r.LPPivots), mean, f2(r.LowerBound),
+			})
+		}
+	}
+	t.Notes = "Build wall-clock includes the full construction (LP solve, rounding, delays, replication). " +
+		"Before the sparse solver these cells were intractable: the dense tableau at n=256 chains carries ~2300 rows " +
+		"against the lazy working set's few hundred."
+	return t
+}

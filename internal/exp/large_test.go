@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"suu/internal/core"
+	"suu/internal/sim"
+	"suu/internal/workload"
+)
+
+// TestLargeLPTractable is the acceptance gate for the sparse solver's
+// large-instance claim: a 512-job (LP2) and a 256-job chains (LP1)
+// solve each complete in under 2 seconds. Skipped under -short so
+// ordinary edit-test loops stay fast; CI runs the full suite.
+func TestLargeLPTractable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-instance tractability gate skipped under -short")
+	}
+	t.Run("LP2-512x16", func(t *testing.T) {
+		in := workload.Independent(workload.Config{Jobs: 512, Machines: 16, Seed: 11})
+		jobs := make([]int, in.N)
+		for j := range jobs {
+			jobs[j] = j
+		}
+		start := time.Now()
+		fs, err := core.SolveLP2(in, jobs, 0.5)
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if elapsed > 2*time.Second {
+			t.Errorf("LP2 at 512 jobs took %v (budget 2s, %d pivots)", elapsed, fs.Iterations)
+		}
+		t.Logf("LP2 512x16: %v, %d pivots, %d working rows, T*=%.3f", elapsed, fs.Iterations, fs.Rows, fs.T)
+	})
+	t.Run("LP1-256x8", func(t *testing.T) {
+		in := workload.Chains(workload.Config{Jobs: 256, Machines: 8, Seed: 11}, 16)
+		chains, err := in.Prec.Chains()
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		fs, err := core.SolveLP1(in, chains, 0.5)
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if elapsed > 2*time.Second {
+			t.Errorf("LP1 at 256 jobs took %v (budget 2s, %d pivots)", elapsed, fs.Iterations)
+		}
+		t.Logf("LP1 256x8: %v, %d pivots, %d working rows, T*=%.3f", elapsed, fs.Iterations, fs.Rows, fs.T)
+	})
+}
+
+// TestSparseLPSpeedupSmoke is the CI bench-smoke assertion: the
+// sparse path's forest-48x8 build must beat the dense oracle by ≥3×
+// (best of three each). It only runs when BENCH_SMOKE=1 — wall-clock
+// ratios are meaningless under the race detector or a loaded laptop —
+// and skips on single-core runners, whose scheduling noise swamps
+// millisecond builds.
+func TestSparseLPSpeedupSmoke(t *testing.T) {
+	if os.Getenv("BENCH_SMOKE") == "" {
+		t.Skip("set BENCH_SMOKE=1 to run the sparse-vs-dense speedup gate")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skip("speedup gate needs ≥2 cores for stable timing")
+	}
+	seed := sim.SeedFor(1, "bench-build/forest")
+	in := workload.OutTree(workload.Config{Jobs: 48, Machines: 8, Seed: seed})
+	par := paramsWithSeed(sim.SeedFor(seed, "build"))
+	bestOf3 := func(par core.Params) float64 {
+		best := -1.0
+		for try := 0; try < 3; try++ {
+			start := time.Now()
+			if _, err := core.SUUForest(in, par); err != nil {
+				t.Fatal(err)
+			}
+			if e := time.Since(start).Seconds() * 1000; best < 0 || e < best {
+				best = e
+			}
+		}
+		return best
+	}
+	sparse := bestOf3(par)
+	parDense := par
+	parDense.DenseLP = true
+	dense := bestOf3(parDense)
+	ratio := dense / sparse
+	t.Logf("forest 48x8 build: sparse %.2fms dense %.2fms ratio %.2fx", sparse, dense, ratio)
+	if ratio < 3 {
+		t.Errorf("sparse forest-48x8 build only %.2fx faster than dense (want ≥3x): sparse %.2fms dense %.2fms",
+			ratio, sparse, dense)
+	}
+}

@@ -1,0 +1,297 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DenseSolve runs the original dense two-phase tableau simplex. It is
+// retained as the cross-check oracle for the revised solver: the
+// parity fuzz suite asserts both agree on feasibility status and
+// objective. Variable bounds are supported by synthesizing explicit
+// rows (x ≥ lo for lo > 0, x ≤ up for finite up); lower bounds below
+// zero are outside the dense formulation and return an error.
+func (p *Problem) DenseSolve() (*Solution, error) {
+	cons := p.cons
+	if p.hasBound {
+		cons = append([]constraint(nil), p.cons...)
+		for v := 0; v < p.nvars; v++ {
+			lo, up := p.lo[v], p.up[v]
+			if lo < 0 {
+				return nil, fmt.Errorf("lp: DenseSolve requires nonnegative lower bounds (variable %d has %v)", v, lo)
+			}
+			if lo > 0 {
+				cons = append(cons, constraint{terms: []Term{{Var: v, Coef: 1}}, rel: GE, rhs: lo})
+			}
+			if !math.IsInf(up, 1) {
+				cons = append(cons, constraint{terms: []Term{{Var: v, Coef: 1}}, rel: LE, rhs: up})
+			}
+		}
+	}
+
+	m := len(cons)
+	n := p.nvars
+
+	// Count auxiliary columns: one slack/surplus per inequality, one
+	// artificial per GE/EQ row (and per LE row with negative rhs after
+	// normalization — handled by normalizing the row sign first).
+	type rowSpec struct {
+		dense []float64
+		rhs   float64
+		rel   Rel
+	}
+	rows := make([]rowSpec, m)
+	for k, con := range cons {
+		dense := make([]float64, n)
+		for _, t := range con.terms {
+			dense[t.Var] += t.Coef
+		}
+		rhs := con.rhs
+		rel := con.rel
+		if rhs < 0 {
+			for i := range dense {
+				dense[i] = -dense[i]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[k] = rowSpec{dense: dense, rhs: rhs, rel: rel}
+	}
+
+	nSlack := 0
+	nArt := 0
+	for _, r := range rows {
+		if r.rel != EQ {
+			nSlack++
+		}
+		if r.rel != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	// Tableau: m rows of [total coefficients | rhs].
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	artCols := make([]bool, total)
+	sCol := n
+	aCol := n + nSlack
+	for k, r := range rows {
+		row := make([]float64, total+1)
+		copy(row, r.dense)
+		row[total] = r.rhs
+		switch r.rel {
+		case LE:
+			row[sCol] = 1
+			basis[k] = sCol
+			sCol++
+		case GE:
+			row[sCol] = -1
+			sCol++
+			row[aCol] = 1
+			artCols[aCol] = true
+			basis[k] = aCol
+			aCol++
+		case EQ:
+			row[aCol] = 1
+			artCols[aCol] = true
+			basis[k] = aCol
+			aCol++
+		}
+		t[k] = row
+	}
+
+	iters := 0
+
+	if nArt > 0 {
+		// Phase 1: minimize sum of artificials.
+		obj := make([]float64, total+1)
+		for j := 0; j < total; j++ {
+			if artCols[j] {
+				obj[j] = 1
+			}
+		}
+		// Price out the basic artificials.
+		for k, b := range basis {
+			if artCols[b] {
+				for j := 0; j <= total; j++ {
+					obj[j] -= t[k][j]
+				}
+			}
+		}
+		it, err := simplexLoop(t, obj, basis, total, nil)
+		iters += it
+		if err != nil {
+			// Phase 1 cannot be unbounded (objective bounded below by 0);
+			// treat any failure as internal.
+			return nil, err
+		}
+		if -obj[total] > 1e-7 {
+			return nil, ErrInfeasible
+		}
+		// Drive any remaining artificial variables out of the basis; a
+		// row whose artificial cannot pivot onto any original column is
+		// linearly dependent on the others (its artificial is basic at
+		// value zero), so drop it from the tableau outright instead of
+		// carrying a dead row through phase 2.
+		var keep []int
+		for k, b := range basis {
+			if !artCols[b] {
+				keep = append(keep, k)
+				continue
+			}
+			pivoted := false
+			for j := 0; j < total; j++ {
+				if !artCols[j] && math.Abs(t[k][j]) > eps {
+					pivot(t, basis, k, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if pivoted {
+				keep = append(keep, k)
+			}
+		}
+		if len(keep) < m {
+			tt := make([][]float64, 0, len(keep))
+			bb := make([]int, 0, len(keep))
+			for _, k := range keep {
+				tt = append(tt, t[k])
+				bb = append(bb, basis[k])
+			}
+			t, basis = tt, bb
+		}
+	}
+
+	// Phase 2: original objective, artificial columns barred.
+	obj := make([]float64, total+1)
+	copy(obj, p.c)
+	for k, b := range basis {
+		if math.Abs(obj[b]) > eps {
+			coef := obj[b]
+			for j := 0; j <= total; j++ {
+				obj[j] -= coef * t[k][j]
+			}
+		}
+	}
+	barred := artCols
+	it, err := simplexLoop(t, obj, basis, total, barred)
+	iters += it
+	if err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for k, b := range basis {
+		if b < n {
+			x[b] = t[k][total]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < n; j++ {
+		objVal += p.c[j] * x[j]
+	}
+	return &Solution{
+		X: x, Objective: objVal, Iterations: iters,
+		Rows: len(p.cons), Cols: p.nvars, Nnz: p.Nnz(),
+	}, nil
+}
+
+// simplexLoop performs primal simplex pivots on tableau t with reduced
+// cost row obj until optimality. barred columns (may be nil) are never
+// chosen as entering variables.
+func simplexLoop(t [][]float64, obj []float64, basis []int, total int, barred []bool) (int, error) {
+	m := len(t)
+	iters := 0
+	stall := 0
+	lastObj := math.Inf(1)
+	for {
+		iters++
+		if iters > 200000 {
+			return iters, errors.New("lp: iteration limit exceeded")
+		}
+		bland := stall >= stallLim
+		// Entering column.
+		enter := -1
+		best := -eps
+		for j := 0; j < total; j++ {
+			if barred != nil && barred[j] {
+				continue
+			}
+			if obj[j] < -eps {
+				if bland {
+					enter = j
+					break
+				}
+				if obj[j] < best {
+					best = obj[j]
+					enter = j
+				}
+			}
+		}
+		if enter == -1 {
+			return iters, nil // optimal
+		}
+		// Ratio test (Bland tie-break on basis index for anti-cycling).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for k := 0; k < m; k++ {
+			a := t[k][enter]
+			if a > eps {
+				r := t[k][total] / a
+				if r < bestRatio-eps || (r < bestRatio+eps && (leave == -1 || basis[k] < basis[leave])) {
+					bestRatio = r
+					leave = k
+				}
+			}
+		}
+		if leave == -1 {
+			return iters, ErrUnbounded
+		}
+		pivot(t, basis, leave, enter, total)
+		// Update reduced costs.
+		coef := obj[enter]
+		if math.Abs(coef) > 0 {
+			for j := 0; j <= total; j++ {
+				obj[j] -= coef * t[leave][j]
+			}
+		}
+		if -obj[total] < lastObj-1e-12 {
+			lastObj = -obj[total]
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func pivot(t [][]float64, basis []int, leave, enter, total int) {
+	pr := t[leave]
+	pv := pr[enter]
+	inv := 1 / pv
+	for j := 0; j <= total; j++ {
+		pr[j] *= inv
+	}
+	pr[enter] = 1 // exact
+	for k := range t {
+		if k == leave {
+			continue
+		}
+		f := t[k][enter]
+		if f == 0 {
+			continue
+		}
+		row := t[k]
+		for j := 0; j <= total; j++ {
+			row[j] -= f * pr[j]
+		}
+		row[enter] = 0 // exact
+	}
+	basis[leave] = enter
+}

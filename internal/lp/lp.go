@@ -1,15 +1,31 @@
-// Package lp implements a dense two-phase primal simplex solver for
-// linear programs in the form
+// Package lp implements linear-programming solvers for problems in
+// the form
 //
 //	minimize    c·x
 //	subject to  a_k·x (≤ | = | ≥) b_k   for each constraint k
-//	            x ≥ 0
+//	            l_j ≤ x_j ≤ u_j         for each variable j
 //
-// It is deliberately stdlib-only and sized for the LPs that arise in
-// the SUU algorithms ((LP1) and (LP2) of Lin & Rajaraman, SPAA 2007):
-// a few hundred to a few thousand variables and constraints. Dantzig
-// pricing is used by default with an automatic switch to Bland's rule
-// when the objective stalls, which guarantees termination.
+// sized for the LPs that arise in the SUU algorithms ((LP1) and (LP2)
+// of Lin & Rajaraman, SPAA 2007): a few hundred to a few thousand
+// variables and constraints whose matrix is overwhelmingly sparse —
+// every row touches only the (machine, job) pairs with positive
+// success probability.
+//
+// Two solvers share the Problem representation:
+//
+//   - Solve runs a revised simplex over sparse (CSC) columns with the
+//     basis inverse kept in product form (an eta file, refactorized
+//     periodically) and variable bounds handled natively in the ratio
+//     test. Cost per pivot is O(nnz + eta file) instead of the dense
+//     tableau's O(rows·cols). SolveFrom accepts a starting Basis for
+//     warm starts and crash bases.
+//   - DenseSolve runs the original dense two-phase tableau simplex.
+//     It is kept as the cross-check oracle: the fuzz suite pins both
+//     solvers to the same feasibility status and objective.
+//
+// Both use Dantzig pricing with an automatic switch to Bland's rule
+// when the objective stalls, which guarantees termination. The
+// package is deliberately stdlib-only.
 package lp
 
 import (
@@ -42,13 +58,15 @@ type constraint struct {
 	rhs   float64
 }
 
-// Problem is a linear program under construction. All variables are
-// implicitly nonnegative; encode x ≥ l by shifting and x ≤ u by an
-// explicit constraint.
+// Problem is a linear program under construction. Variables default
+// to the nonnegative orthant (bounds [0, +Inf)); SetBounds overrides
+// per variable.
 type Problem struct {
-	nvars int
-	c     []float64
-	cons  []constraint
+	nvars    int
+	c        []float64
+	lo, up   []float64
+	cons     []constraint
+	hasBound bool
 }
 
 // Solution holds an optimal solution.
@@ -59,6 +77,27 @@ type Solution struct {
 	Objective float64
 	// Iterations is the total number of simplex pivots performed.
 	Iterations int
+	// Rows, Cols and Nnz are the constraint system's dimensions (rows,
+	// structural variables, structural nonzeros) — the quantities the
+	// perf harness tracks alongside pivot counts.
+	Rows, Cols, Nnz int
+	// Basis is the optimal basis (revised solver only; nil from
+	// DenseSolve). Feed it back via SolveFrom to warm-start a re-solve
+	// of the same problem shape.
+	Basis *Basis
+}
+
+// Basis identifies a simplex basis of a problem: which variable is
+// basic in each row, and which nonbasic variables sit at their upper
+// bound (the rest sit at their lower bound, or at zero when free).
+// Variable indices 0..NumVars-1 are structural; LogicalVar(k) is row
+// k's logical (slack) variable.
+type Basis struct {
+	// Basic has one entry per constraint row: the index of the basic
+	// variable associated with that row.
+	Basic []int
+	// AtUpper lists nonbasic variables resting at a finite upper bound.
+	AtUpper []int
 }
 
 // ErrInfeasible is returned when the constraint set has no solution.
@@ -87,9 +126,68 @@ func (p *Problem) NumVars() int { return p.nvars }
 // NumConstraints returns the number of constraint rows added so far.
 func (p *Problem) NumConstraints() int { return len(p.cons) }
 
+// Nnz returns the number of structural nonzeros added so far (before
+// duplicate-term accumulation).
+func (p *Problem) Nnz() int {
+	n := 0
+	for _, con := range p.cons {
+		n += len(con.terms)
+	}
+	return n
+}
+
+// LogicalVar returns the variable index of row k's logical (slack)
+// variable in the revised solver's indexing, for constructing crash
+// bases: structural variables occupy 0..NumVars-1, logicals follow in
+// row order.
+func (p *Problem) LogicalVar(k int) int { return p.nvars + k }
+
 // SetObjectiveCoef sets the objective coefficient of variable v.
 func (p *Problem) SetObjectiveCoef(v int, coef float64) {
 	p.c[v] = coef
+}
+
+// SetBounds replaces variable v's bounds [0, +Inf) with [lo, up].
+// lo may be math.Inf(-1) and up math.Inf(1); lo must not exceed up.
+// DenseSolve supports only finite lo ≥ 0 (it synthesizes bound rows);
+// the revised solver handles any bounds natively.
+func (p *Problem) SetBounds(v int, lo, up float64) {
+	if v < 0 || v >= p.nvars {
+		panic(fmt.Sprintf("lp: bounds reference variable %d of %d", v, p.nvars))
+	}
+	if lo > up {
+		panic(fmt.Sprintf("lp: variable %d bounds cross (%v > %v)", v, lo, up))
+	}
+	p.ensureBounds()
+	p.lo[v], p.up[v] = lo, up
+}
+
+func (p *Problem) ensureBounds() {
+	if p.hasBound {
+		return
+	}
+	p.lo = make([]float64, p.nvars)
+	p.up = make([]float64, p.nvars)
+	for i := range p.up {
+		p.up[i] = math.Inf(1)
+	}
+	p.hasBound = true
+}
+
+// lower returns variable v's lower bound.
+func (p *Problem) lower(v int) float64 {
+	if !p.hasBound {
+		return 0
+	}
+	return p.lo[v]
+}
+
+// upper returns variable v's upper bound.
+func (p *Problem) upper(v int) float64 {
+	if !p.hasBound {
+		return math.Inf(1)
+	}
+	return p.up[v]
 }
 
 // AddConstraint appends the row Σ terms (rel) rhs. Terms may repeat a
@@ -105,256 +203,66 @@ func (p *Problem) AddConstraint(terms []Term, rel Rel, rhs float64) {
 	p.cons = append(p.cons, constraint{terms: cp, rel: rel, rhs: rhs})
 }
 
-// Solve runs two-phase simplex and returns an optimal solution,
-// ErrInfeasible, or ErrUnbounded.
+// Solve runs the sparse revised simplex from a cold (all-logical)
+// start and returns an optimal solution, ErrInfeasible, or
+// ErrUnbounded.
 func (p *Problem) Solve() (*Solution, error) {
-	m := len(p.cons)
-	n := p.nvars
+	return p.SolveFrom(nil)
+}
 
-	// Count auxiliary columns: one slack/surplus per inequality, one
-	// artificial per GE/EQ row (and per LE row with negative rhs after
-	// normalization — handled by normalizing the row sign first).
-	type rowSpec struct {
-		dense []float64
-		rhs   float64
-		rel   Rel
-	}
-	rows := make([]rowSpec, m)
-	for k, con := range p.cons {
-		dense := make([]float64, n)
-		for _, t := range con.terms {
-			dense[t.Var] += t.Coef
-		}
-		rhs := con.rhs
-		rel := con.rel
-		if rhs < 0 {
-			for i := range dense {
-				dense[i] = -dense[i]
-			}
-			rhs = -rhs
-			switch rel {
-			case LE:
-				rel = GE
-			case GE:
-				rel = LE
-			}
-		}
-		rows[k] = rowSpec{dense: dense, rhs: rhs, rel: rel}
-	}
+// SolveFrom runs the sparse revised simplex starting from the given
+// basis (nil means the all-logical cold start). An invalid or
+// singular basis falls back to the cold start rather than failing, so
+// callers may pass heuristic crash bases freely.
+func (p *Problem) SolveFrom(basis *Basis) (*Solution, error) {
+	return p.SolveLazy(basis, nil)
+}
 
-	nSlack := 0
-	nArt := 0
-	for _, r := range rows {
-		if r.rel != EQ {
-			nSlack++
-		}
-		if r.rel != LE {
-			nArt++
-		}
-	}
-	total := n + nSlack + nArt
-	// Tableau: m rows of [total coefficients | rhs].
-	t := make([][]float64, m)
-	basis := make([]int, m)
-	artCols := make([]bool, total)
-	sCol := n
-	aCol := n + nSlack
-	for k, r := range rows {
-		row := make([]float64, total+1)
-		copy(row, r.dense)
-		row[total] = r.rhs
-		switch r.rel {
-		case LE:
-			row[sCol] = 1
-			basis[k] = sCol
-			sCol++
-		case GE:
-			row[sCol] = -1
-			sCol++
-			row[aCol] = 1
-			artCols[aCol] = true
-			basis[k] = aCol
-			aCol++
-		case EQ:
-			row[aCol] = 1
-			artCols[aCol] = true
-			basis[k] = aCol
-			aCol++
-		}
-		t[k] = row
-	}
+// Cut is one lazily separated constraint row for SolveLazy.
+type Cut struct {
+	Terms []Term
+	Rel   Rel
+	Rhs   float64
+}
 
-	iters := 0
-
-	if nArt > 0 {
-		// Phase 1: minimize sum of artificials.
-		obj := make([]float64, total+1)
-		for j := 0; j < total; j++ {
-			if artCols[j] {
-				obj[j] = 1
-			}
-		}
-		// Price out the basic artificials.
-		for k, b := range basis {
-			if artCols[b] {
-				for j := 0; j <= total; j++ {
-					obj[j] -= t[k][j]
-				}
-			}
-		}
-		it, err := simplexLoop(t, obj, basis, total, nil)
-		iters += it
-		if err != nil {
-			// Phase 1 cannot be unbounded (objective bounded below by 0);
-			// treat any failure as internal.
-			return nil, err
-		}
-		if -obj[total] > 1e-7 {
-			return nil, ErrInfeasible
-		}
-		// Drive any remaining artificial variables out of the basis.
-		for k, b := range basis {
-			if !artCols[b] {
-				continue
-			}
-			pivoted := false
-			for j := 0; j < total; j++ {
-				if !artCols[j] && math.Abs(t[k][j]) > eps {
-					pivot(t, basis, k, j, total)
-					pivoted = true
-					break
-				}
-			}
-			if !pivoted {
-				// Redundant row: keep artificial basic at value 0. Forbid
-				// it from ever re-entering by zeroing is unnecessary since
-				// artificial columns are excluded in phase 2 pricing.
-				_ = k
-			}
-		}
-	}
-
-	// Phase 2: original objective, artificial columns barred.
-	obj := make([]float64, total+1)
-	copy(obj, p.c)
-	for k, b := range basis {
-		if math.Abs(obj[b]) > eps {
-			coef := obj[b]
-			for j := 0; j <= total; j++ {
-				obj[j] -= coef * t[k][j]
-			}
-		}
-	}
-	barred := artCols
-	it, err := simplexLoop(t, obj, basis, total, barred)
-	iters += it
-	if err != nil {
+// SolveLazy runs the revised simplex with row generation: whenever
+// the working problem is solved to optimality, separate (may be nil)
+// is called with the current optimal x and returns violated rows to
+// append. The new rows join the problem (p is mutated), their
+// logicals join the basis — infeasible by exactly the violation, so
+// phase 1 resumes from the prior optimum instead of restarting — and
+// the solve continues until separation returns nothing. Because the
+// working problem is always a relaxation of the fully cut problem,
+// the final solution is optimal for it. The separation callback must
+// eventually stop returning cuts (e.g. never repeat a row); each
+// round's cuts are appended in one batch under a single
+// refactorization.
+func (p *Problem) SolveLazy(basis *Basis, separate func(x []float64) []Cut) (*Solution, error) {
+	rv := newRevised(p)
+	if err := rv.start(basis); err != nil {
 		return nil, err
 	}
-
-	x := make([]float64, n)
-	for k, b := range basis {
-		if b < n {
-			x[b] = t[k][total]
-		}
-	}
-	objVal := 0.0
-	for j := 0; j < n; j++ {
-		objVal += p.c[j] * x[j]
-	}
-	return &Solution{X: x, Objective: objVal, Iterations: iters}, nil
-}
-
-// simplexLoop performs primal simplex pivots on tableau t with reduced
-// cost row obj until optimality. barred columns (may be nil) are never
-// chosen as entering variables.
-func simplexLoop(t [][]float64, obj []float64, basis []int, total int, barred []bool) (int, error) {
-	m := len(t)
-	iters := 0
-	stall := 0
-	lastObj := math.Inf(1)
 	for {
-		iters++
-		if iters > 200000 {
-			return iters, errors.New("lp: iteration limit exceeded")
+		if err := rv.run(); err != nil {
+			return nil, err
 		}
-		bland := stall >= stallLim
-		// Entering column.
-		enter := -1
-		best := -eps
-		for j := 0; j < total; j++ {
-			if barred != nil && barred[j] {
-				continue
-			}
-			if obj[j] < -eps {
-				if bland {
-					enter = j
-					break
-				}
-				if obj[j] < best {
-					best = obj[j]
-					enter = j
-				}
-			}
+		if separate == nil {
+			return rv.solution(p)
 		}
-		if enter == -1 {
-			return iters, nil // optimal
+		cuts := separate(rv.currentX())
+		if len(cuts) == 0 {
+			return rv.solution(p)
 		}
-		// Ratio test (Bland tie-break on basis index for anti-cycling).
-		leave := -1
-		bestRatio := math.Inf(1)
-		for k := 0; k < m; k++ {
-			a := t[k][enter]
-			if a > eps {
-				r := t[k][total] / a
-				if r < bestRatio-eps || (r < bestRatio+eps && (leave == -1 || basis[k] < basis[leave])) {
-					bestRatio = r
-					leave = k
-				}
-			}
+		base := len(p.cons)
+		for _, c := range cuts {
+			p.AddConstraint(c.Terms, c.Rel, c.Rhs)
 		}
-		if leave == -1 {
-			return iters, ErrUnbounded
-		}
-		pivot(t, basis, leave, enter, total)
-		// Update reduced costs.
-		coef := obj[enter]
-		if math.Abs(coef) > 0 {
-			for j := 0; j <= total; j++ {
-				obj[j] -= coef * t[leave][j]
-			}
-		}
-		if -obj[total] < lastObj-1e-12 {
-			lastObj = -obj[total]
-			stall = 0
-		} else {
-			stall++
+		rv.appendRows(p.cons[base:])
+		// On small working bases a refactorization is nearly free and
+		// compacts the eta file for the next rounds; on large ones the
+		// kRow correction etas are much cheaper than refactorizing.
+		if rv.m < 512 {
+			rv.refresh()
 		}
 	}
-}
-
-// pivot makes column enter basic in row leave.
-func pivot(t [][]float64, basis []int, leave, enter, total int) {
-	pr := t[leave]
-	pv := pr[enter]
-	inv := 1 / pv
-	for j := 0; j <= total; j++ {
-		pr[j] *= inv
-	}
-	pr[enter] = 1 // exact
-	for k := range t {
-		if k == leave {
-			continue
-		}
-		f := t[k][enter]
-		if f == 0 {
-			continue
-		}
-		row := t[k]
-		for j := 0; j <= total; j++ {
-			row[j] -= f * pr[j]
-		}
-		row[enter] = 0 // exact
-	}
-	basis[leave] = enter
 }

@@ -1,0 +1,230 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file is the dense-vs-sparse parity harness: randomized LPs of
+// known status (feasible with a certificate point, infeasible by
+// construction, unbounded by construction) solved by both the revised
+// simplex and the dense tableau oracle, asserting identical status
+// and — for feasible instances — objectives within 1e-7. The two
+// solvers may (and do) return different optimal vertices; the parity
+// contract is status + objective, which is what the SUU pipeline's
+// guarantees consume.
+
+// objTol is the parity tolerance on optimal objectives.
+func objEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-7*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// randFeasible builds an LP guaranteed feasible at a generated point
+// x0 (rows are anchored to x0's row activity), with a nonnegative
+// objective so it is also bounded. Roughly a third of the variables
+// get finite upper bounds at or above x0, and some get raised lower
+// bounds at or below x0, so the bound machinery fuzzes too.
+func randFeasible(rng *rand.Rand) *Problem {
+	n := 1 + rng.Intn(10)
+	m := 1 + rng.Intn(12)
+	x0 := make([]float64, n)
+	for i := range x0 {
+		x0[i] = rng.Float64() * 5
+	}
+	p := NewProblem(n)
+	for i := 0; i < n; i++ {
+		p.SetObjectiveCoef(i, rng.Float64()*4)
+		lo, up := 0.0, math.Inf(1)
+		if rng.Intn(3) == 0 {
+			lo = x0[i] * rng.Float64()
+		}
+		if rng.Intn(3) == 0 {
+			up = x0[i] + rng.Float64()*3
+		}
+		p.SetBounds(i, lo, up)
+	}
+	for k := 0; k < m; k++ {
+		var terms []Term
+		lhs := 0.0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.5 {
+				co := rng.Float64()*4 - 2
+				terms = append(terms, Term{i, co})
+				lhs += co * x0[i]
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			p.AddConstraint(terms, LE, lhs+rng.Float64())
+		case 1:
+			p.AddConstraint(terms, GE, lhs-rng.Float64())
+		default:
+			p.AddConstraint(terms, EQ, lhs)
+		}
+	}
+	if p.NumConstraints() == 0 {
+		p.AddConstraint([]Term{{0, 1}}, GE, 0)
+	}
+	return p
+}
+
+// randInfeasible plants a contradiction with a margin of at least 1
+// (an aggregate ≤ a and the same aggregate ≥ a+1+margin) inside an
+// otherwise feasible instance, so both solvers must report
+// infeasibility regardless of tolerance details.
+func randInfeasible(rng *rand.Rand) *Problem {
+	p := randFeasible(rng)
+	n := p.NumVars()
+	var terms []Term
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.7 || i == 0 {
+			terms = append(terms, Term{i, 1 + rng.Float64()})
+		}
+	}
+	a := rng.Float64() * 8
+	p.AddConstraint(terms, LE, a)
+	p.AddConstraint(terms, GE, a+1+rng.Float64())
+	return p
+}
+
+// randUnbounded builds min −x_r over constraints that never bound x_r
+// above: every row involving x_r is a GE row, and x_r has no upper
+// bound, so the objective decreases without limit along e_r.
+func randUnbounded(rng *rand.Rand) *Problem {
+	n := 2 + rng.Intn(6)
+	m := 1 + rng.Intn(6)
+	r := rng.Intn(n)
+	p := NewProblem(n)
+	p.SetObjectiveCoef(r, -1-rng.Float64())
+	for k := 0; k < m; k++ {
+		var terms []Term
+		for i := 0; i < n; i++ {
+			if i == r {
+				if rng.Float64() < 0.5 {
+					terms = append(terms, Term{i, rng.Float64()}) // nonnegative coef
+				}
+				continue
+			}
+			if rng.Float64() < 0.5 {
+				terms = append(terms, Term{i, rng.Float64()*2 - 1})
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		p.AddConstraint(terms, GE, -rng.Float64()) // feasible at the origin
+	}
+	if p.NumConstraints() == 0 {
+		p.AddConstraint([]Term{{r, 1}}, GE, 0)
+	}
+	return p
+}
+
+func TestParityFuzzFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	for trial := 0; trial < 300; trial++ {
+		p := randFeasible(rng)
+		sparse, errS := p.Solve()
+		dense, errD := p.DenseSolve()
+		if errS != nil || errD != nil {
+			t.Fatalf("trial %d: statuses differ or solve failed on a feasible LP: sparse=%v dense=%v", trial, errS, errD)
+		}
+		if !objEqual(sparse.Objective, dense.Objective) {
+			t.Fatalf("trial %d: objective parity broken: sparse %.12g vs dense %.12g",
+				trial, sparse.Objective, dense.Objective)
+		}
+	}
+}
+
+func TestParityFuzzInfeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		p := randInfeasible(rng)
+		_, errS := p.Solve()
+		_, errD := p.DenseSolve()
+		if errS != ErrInfeasible || errD != ErrInfeasible {
+			t.Fatalf("trial %d: want ErrInfeasible from both, got sparse=%v dense=%v", trial, errS, errD)
+		}
+	}
+}
+
+func TestParityFuzzUnbounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		p := randUnbounded(rng)
+		_, errS := p.Solve()
+		_, errD := p.DenseSolve()
+		if errS != ErrUnbounded || errD != ErrUnbounded {
+			t.Fatalf("trial %d: want ErrUnbounded from both, got sparse=%v dense=%v", trial, errS, errD)
+		}
+	}
+}
+
+// TestParityLP1Shapes runs the parity check on random miniature (LP1)
+// instances — the exact row pattern the core builder emits (window +
+// mass + load + chain rows with a bounded d variable) — so the fuzz
+// coverage includes the production formulation, not just generic LPs.
+func TestParityLP1Shapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4401))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(6) // jobs
+		m := 1 + rng.Intn(4) // machines
+		type pair struct{ i, j int }
+		var pairs []pair
+		prob := make(map[pair]float64)
+		for j := 0; j < n; j++ {
+			deg := 1 + rng.Intn(m)
+			for _, i := range rng.Perm(m)[:deg] {
+				pr := pair{i, j}
+				pairs = append(pairs, pr)
+				prob[pr] = 0.05 + 0.9*rng.Float64()
+			}
+		}
+		nv := len(pairs)
+		dBase, tVar := nv, nv+n
+		p := NewProblem(tVar + 1)
+		p.SetObjectiveCoef(tVar, 1)
+		for j := 0; j < n; j++ {
+			p.SetBounds(dBase+j, 1, math.Inf(1))
+		}
+		mass := make([][]Term, n)
+		load := make([][]Term, m)
+		for v, pr := range pairs {
+			p.AddConstraint([]Term{{v, 1}, {dBase + pr.j, -1}}, LE, 0)
+			mass[pr.j] = append(mass[pr.j], Term{v, prob[pr]})
+			load[pr.i] = append(load[pr.i], Term{v, 1})
+		}
+		for j := 0; j < n; j++ {
+			p.AddConstraint(mass[j], GE, 0.5)
+		}
+		for i := 0; i < m; i++ {
+			if len(load[i]) == 0 {
+				continue
+			}
+			p.AddConstraint(append(load[i], Term{tVar, -1}), LE, 0)
+		}
+		// One chain over a random subset of jobs.
+		var chain []Term
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				chain = append(chain, Term{dBase + j, 1})
+			}
+		}
+		if len(chain) > 0 {
+			p.AddConstraint(append(chain, Term{tVar, -1}), LE, 0)
+		}
+		sparse, errS := p.Solve()
+		dense, errD := p.DenseSolve()
+		if errS != nil || errD != nil {
+			t.Fatalf("trial %d: sparse=%v dense=%v", trial, errS, errD)
+		}
+		if !objEqual(sparse.Objective, dense.Objective) {
+			t.Fatalf("trial %d: T* parity broken: sparse %.12g vs dense %.12g",
+				trial, sparse.Objective, dense.Objective)
+		}
+	}
+}

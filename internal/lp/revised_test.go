@@ -1,0 +1,256 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// bothSolvers runs f against the revised and the dense solver so
+// shared cases exercise the pair symmetrically.
+func bothSolvers(t *testing.T, f func(t *testing.T, solve func(*Problem) (*Solution, error))) {
+	t.Helper()
+	t.Run("revised", func(t *testing.T) { f(t, (*Problem).Solve) })
+	t.Run("dense", func(t *testing.T) { f(t, (*Problem).DenseSolve) })
+}
+
+func TestNativeUpperBounds(t *testing.T) {
+	bothSolvers(t, func(t *testing.T, solve func(*Problem) (*Solution, error)) {
+		// max x+y (min −x−y) with x ≤ 2, y ≤ 3 as bounds and x+y ≤ 4 as
+		// the only row: optimum 4.
+		p := NewProblem(2)
+		p.SetObjectiveCoef(0, -1)
+		p.SetObjectiveCoef(1, -1)
+		p.SetBounds(0, 0, 2)
+		p.SetBounds(1, 0, 3)
+		p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 4)
+		sol, err := solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(sol.Objective, -4, 1e-7) {
+			t.Errorf("objective=%v, want -4", sol.Objective)
+		}
+	})
+}
+
+func TestNativeLowerBounds(t *testing.T) {
+	bothSolvers(t, func(t *testing.T, solve func(*Problem) (*Solution, error)) {
+		// min x + 2y with x ≥ 3, y ≥ 2 as bounds, x + y = 10 as a row:
+		// x=8, y=2, objective 12 (the dense suite's TestEqualityAndGE
+		// with the GE rows moved into bounds).
+		p := NewProblem(2)
+		p.SetObjectiveCoef(0, 1)
+		p.SetObjectiveCoef(1, 2)
+		p.SetBounds(0, 3, math.Inf(1))
+		p.SetBounds(1, 2, math.Inf(1))
+		p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 10)
+		sol, err := solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(sol.Objective, 12, 1e-7) || !approx(sol.X[0], 8, 1e-7) || !approx(sol.X[1], 2, 1e-7) {
+			t.Errorf("sol=%v obj=%v, want x=(8,2) obj=12", sol.X, sol.Objective)
+		}
+	})
+}
+
+func TestBoundsOnlyOptimum(t *testing.T) {
+	// A problem whose optimum is decided entirely by bound flips — no
+	// constraint row ever binds.
+	p := NewProblem(3)
+	p.SetObjectiveCoef(0, -1) // pushes to upper
+	p.SetObjectiveCoef(1, 1)  // stays at lower
+	p.SetObjectiveCoef(2, -2) // pushes to upper
+	for v := 0; v < 3; v++ {
+		p.SetBounds(v, 1, 5)
+	}
+	p.AddConstraint([]Term{{0, 1}, {1, 1}, {2, 1}}, LE, 100)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 1, 5}
+	for v, x := range sol.X {
+		if !approx(x, want[v], 1e-7) {
+			t.Errorf("x[%d]=%v, want %v", v, x, want[v])
+		}
+	}
+}
+
+func TestInfeasibleBounds(t *testing.T) {
+	bothSolvers(t, func(t *testing.T, solve func(*Problem) (*Solution, error)) {
+		// x ≥ 4 via bound, x ≤ 2 via row.
+		p := NewProblem(1)
+		p.SetBounds(0, 4, math.Inf(1))
+		p.AddConstraint([]Term{{0, 1}}, LE, 2)
+		if _, err := solve(p); err != ErrInfeasible {
+			t.Errorf("err=%v, want ErrInfeasible", err)
+		}
+	})
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min x with x free and x ≥ −7 only via a row: optimum −7. The
+	// dense oracle cannot express free variables, so revised only.
+	p := NewProblem(1)
+	p.SetObjectiveCoef(0, 1)
+	p.SetBounds(0, math.Inf(-1), math.Inf(1))
+	p.AddConstraint([]Term{{0, 1}}, GE, -7)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[0], -7, 1e-7) {
+		t.Errorf("x=%v, want -7", sol.X[0])
+	}
+	// And unbounded without the row.
+	p2 := NewProblem(1)
+	p2.SetObjectiveCoef(0, 1)
+	p2.SetBounds(0, math.Inf(-1), math.Inf(1))
+	p2.AddConstraint([]Term{{0, 1}}, LE, 3)
+	if _, err := p2.Solve(); err != ErrUnbounded {
+		t.Errorf("err=%v, want ErrUnbounded", err)
+	}
+}
+
+// TestRedundantRowsDriveOut is the regression test for the phase-1
+// drive-out fix: a linearly dependent constraint set (the third row
+// is the sum of the first two) must leave both solvers at the
+// optimum, with the dense path actually dropping the dependent row
+// instead of carrying a dead artificial through phase 2.
+func TestRedundantRowsDriveOut(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem(3)
+		p.SetObjectiveCoef(0, 1)
+		p.SetObjectiveCoef(1, 2)
+		p.SetObjectiveCoef(2, 3)
+		p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 4)
+		p.AddConstraint([]Term{{1, 1}, {2, 1}}, EQ, 5)
+		p.AddConstraint([]Term{{0, 1}, {1, 2}, {2, 1}}, EQ, 9) // row1 + row2
+		return p
+	}
+	bothSolvers(t, func(t *testing.T, solve func(*Problem) (*Solution, error)) {
+		sol, err := solve(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Optimum: push weight onto x1 (saves 2 per unit against x0+x2)
+		// → x=(0,4,1), objective 11.
+		if !approx(sol.Objective, 11, 1e-7) {
+			t.Errorf("objective=%v, want 11", sol.Objective)
+		}
+	})
+	// A denser dependent family: k copies of the same equality plus
+	// scaled versions.
+	bothSolvers(t, func(t *testing.T, solve func(*Problem) (*Solution, error)) {
+		p := NewProblem(2)
+		p.SetObjectiveCoef(0, 1)
+		p.SetObjectiveCoef(1, 1)
+		for k := 1; k <= 4; k++ {
+			p.AddConstraint([]Term{{0, float64(k)}, {1, float64(k)}}, EQ, 6*float64(k))
+		}
+		sol, err := solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(sol.Objective, 6, 1e-7) {
+			t.Errorf("objective=%v, want 6", sol.Objective)
+		}
+	})
+}
+
+func TestWarmStartFromOptimalBasis(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem(4)
+		for v := 0; v < 4; v++ {
+			p.SetObjectiveCoef(v, float64(v+1))
+		}
+		p.AddConstraint([]Term{{0, 1}, {1, 1}, {2, 1}, {3, 1}}, GE, 10)
+		p.AddConstraint([]Term{{0, 1}, {2, 1}}, LE, 6)
+		p.AddConstraint([]Term{{1, 1}, {3, 1}}, GE, 2)
+		return p
+	}
+	cold, err := build().Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Basis == nil {
+		t.Fatal("revised solve returned no basis")
+	}
+	warm, err := build().SolveFrom(cold.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(warm.Objective, cold.Objective, 1e-9) {
+		t.Errorf("warm objective %v != cold %v", warm.Objective, cold.Objective)
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Errorf("warm start did not save pivots: warm %d, cold %d", warm.Iterations, cold.Iterations)
+	}
+}
+
+func TestWarmStartInvalidBasisFallsBack(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjectiveCoef(0, 1)
+	p.SetObjectiveCoef(1, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, GE, 3)
+	for _, b := range []*Basis{
+		{Basic: []int{}},                      // wrong size
+		{Basic: []int{99}},                    // out of range
+		{Basic: []int{0, 0}},                  // duplicates (and wrong size)
+		{Basic: []int{1}, AtUpper: []int{42}}, // bad AtUpper entry
+	} {
+		sol, err := p.SolveFrom(b)
+		if err != nil {
+			t.Fatalf("basis %+v: %v", b, err)
+		}
+		if !approx(sol.Objective, 3, 1e-7) {
+			t.Errorf("basis %+v: objective=%v, want 3", b, sol.Objective)
+		}
+	}
+}
+
+func TestRefactorizationAccuracy(t *testing.T) {
+	// A long chain of coupled rows forces hundreds of pivots through
+	// several refactorization cycles; the optimum is known in closed
+	// form: x_k ≥ k with Σ x ≥ extra forces x_k = k.
+	const n = 300
+	p := NewProblem(n)
+	want := 0.0
+	for v := 0; v < n; v++ {
+		p.SetObjectiveCoef(v, 1)
+		p.AddConstraint([]Term{{v, 1}}, GE, float64(v%7+1))
+		want += float64(v%7 + 1)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, want, 1e-6) {
+		t.Errorf("objective=%v, want %v", sol.Objective, want)
+	}
+}
+
+func TestSolutionDimensions(t *testing.T) {
+	p := NewProblem(3)
+	p.SetObjectiveCoef(0, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 2}}, GE, 1)
+	p.AddConstraint([]Term{{2, 1}}, LE, 5)
+	for _, solve := range []func() (*Solution, error){p.Solve, p.DenseSolve} {
+		sol, err := solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Rows != 2 || sol.Cols != 3 || sol.Nnz != 3 {
+			t.Errorf("dims = (%d rows, %d cols, %d nnz), want (2, 3, 3)", sol.Rows, sol.Cols, sol.Nnz)
+		}
+	}
+}
+
+func TestDenseSolveRejectsNegativeLower(t *testing.T) {
+	p := NewProblem(1)
+	p.SetBounds(0, -1, 1)
+	if _, err := p.DenseSolve(); err == nil {
+		t.Error("DenseSolve accepted a negative lower bound")
+	}
+}

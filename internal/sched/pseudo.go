@@ -155,6 +155,31 @@ func (p *Pseudo) BestDelays(maxDelay, tries int, rng *rand.Rand) ([]int, int) {
 	bestCong := p.congestionWithDelays(best) // zero-delay candidate
 	bestSum := 0
 	cand := make([]int, len(p.Tracks))
+	// The search evaluates `tries` candidates over the same busy
+	// pattern, so precompute each track's busy cells once (as flat
+	// step·M+machine offsets — a delay d shifts every offset by d·M)
+	// and count into a stamped scratch buffer: no per-candidate
+	// allocation or clearing, and a candidate aborts as soon as some
+	// cell strictly exceeds the incumbent congestion (it can only get
+	// worse, and the equal-congestion tie-break needs no exact count
+	// for a loser). Results are bit-identical to the naive loop: the
+	// rng draws happen before evaluation either way.
+	busy := make([][]int32, len(p.Tracks))
+	maxTrackLen := 0
+	for k, tr := range p.Tracks {
+		if len(tr.Steps) > maxTrackLen {
+			maxTrackLen = len(tr.Steps)
+		}
+		for t, a := range tr.Steps {
+			for i, j := range a {
+				if j != Idle {
+					busy[k] = append(busy[k], int32(t*p.M+i))
+				}
+			}
+		}
+	}
+	counts := make([]int32, (maxTrackLen+maxDelay)*p.M)
+	stamp := make([]int32, len(counts))
 	for trial := 0; trial < tries; trial++ {
 		for k := range cand {
 			cand[k] = rng.Intn(maxDelay + 1)
@@ -170,7 +195,29 @@ func (p *Pseudo) BestDelays(maxDelay, tries int, rng *rand.Rand) ([]int, int) {
 		for k := range cand {
 			cand[k] -= min
 		}
-		c := p.congestionWithDelays(cand)
+		epoch := int32(trial + 1)
+		c := 0
+		for k := range cand {
+			shift := int32(cand[k] * p.M)
+			for _, e := range busy[k] {
+				idx := e + shift
+				if stamp[idx] != epoch {
+					stamp[idx] = epoch
+					counts[idx] = 1
+				} else {
+					counts[idx]++
+				}
+				if int(counts[idx]) > c {
+					c = int(counts[idx])
+					if c > bestCong {
+						break // strictly worse than the incumbent
+					}
+				}
+			}
+			if c > bestCong {
+				break
+			}
+		}
 		if c < bestCong || (c == bestCong && sum(cand) < bestSum) {
 			bestCong = c
 			bestSum = sum(cand)

@@ -139,6 +139,10 @@ func buildLPOblivious(in *model.Instance, par core.Params) (*Result, error) {
 		LowerBound: res.LowerBound,
 		MaxLoad:    res.MaxLoad,
 		Congestion: res.Congestion,
+		LPPivots:   res.LPPivots,
+		LPRows:     res.LPRows,
+		LPCols:     res.LPCols,
+		LPNnz:      res.LPNnz,
 		Detail:     fmt.Sprintf("LP oblivious (T*=%.2f, lower bound %.2f)", res.TStar, res.LowerBound),
 	}, nil
 }
@@ -158,6 +162,10 @@ func buildChains(in *model.Instance, par core.Params) (*Result, error) {
 		LowerBound: res.LowerBound,
 		MaxLoad:    res.MaxLoad,
 		Congestion: res.Congestion,
+		LPPivots:   res.LPPivots,
+		LPRows:     res.LPRows,
+		LPCols:     res.LPCols,
+		LPNnz:      res.LPNnz,
 		Detail:     fmt.Sprintf("chains pipeline (T*=%.2f, Πmax=%d, congestion=%d)", res.TStar, res.MaxLoad, res.Congestion),
 	}, nil
 }
@@ -195,6 +203,10 @@ func buildForest(in *model.Instance, par core.Params) (*Result, error) {
 		LowerBound: res.LowerBound,
 		Blocks:     res.Decomposition.Width(),
 		Decomp:     res.Decomposition.Method,
+		LPPivots:   res.LPPivots,
+		LPRows:     res.LPRows,
+		LPCols:     res.LPCols,
+		LPNnz:      res.LPNnz,
 		Detail: fmt.Sprintf("forest pipeline (%s decomposition, %d blocks, lower bound %.2f)",
 			res.Decomposition.Method, res.Decomposition.Width(), res.LowerBound),
 	}, nil

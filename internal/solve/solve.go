@@ -55,6 +55,11 @@ type Result struct {
 	// MaxLoad and Congestion are the chain-pipeline diagnostics Π_max
 	// and post-delay congestion (chain-based solvers only).
 	MaxLoad, Congestion int
+	// LPPivots, LPRows, LPCols and LPNnz report the LP solve's effort
+	// and dimensions for LP-backed constructions (pivots are summed
+	// across a decomposition's blocks; dimensions are the largest
+	// block's). Zero for combinatorial and adaptive solvers.
+	LPPivots, LPRows, LPCols, LPNnz int
 	// Blocks and Decomp describe the chain decomposition used
 	// (forest solver only): block count and method.
 	Blocks int
