@@ -26,7 +26,28 @@
 //	                          # the comparison table; with -json the
 //	                          # record holds just the lp_bench section
 //
-// Figure reproductions (F1, F3) live in suu-trace.
+// Distributed sweeps (see README "Distributed sweeps"): a shardable
+// grid table (T13, T14) can be cut into half-open cell ranges, each
+// executed in its own process, and merged bit-identically:
+//
+//	suu-bench -grid T13 -cells 0:12 -json-cells s0.json
+//	                          # run cells [0:12) of T13's plan and
+//	                          # write the partial-result envelope
+//	suu-bench -grid T13 -shard 1/4 -json-cells s1.json
+//	                          # same, with the range computed as
+//	                          # shard 1 of 4 (0-indexed, near-equal)
+//	suu-bench -grid T13 -json-cells full.json
+//	                          # the whole plan in one envelope
+//	suu-bench -merge -json-cells out.json s0.json s1.json ...
+//	                          # validate + merge shard envelopes into
+//	                          # the canonical document (gaps,
+//	                          # overlaps, and fingerprint mismatches
+//	                          # are hard errors) and render the table
+//
+// The merged output is byte-identical no matter how the cells were
+// sharded; cmd/suu-grid drives the whole fork/merge loop locally and
+// the CI grid matrix proves the equality on every push. Figure
+// reproductions (F1, F3) live in suu-trace.
 package main
 
 import (
@@ -48,9 +69,33 @@ func main() {
 		workers  = flag.Int("workers", 0, "grid-harness worker pool size (0 = GOMAXPROCS, 1 = sequential; tables are identical at any value)")
 		jsonPath = flag.String("json", "", "write engine benchmark results to this file (e.g. BENCH_sim.json)")
 		lpOnly   = flag.Bool("lp", false, "benchmark the LP layer in isolation and exit (skips the experiment drivers)")
+		commit   = flag.String("commit", os.Getenv("GITHUB_SHA"), "commit SHA to embed in the -json perf record (defaults to $GITHUB_SHA)")
+
+		gridID    = flag.String("grid", "", "run one shardable grid table (T13, T14) through the cell-range path")
+		cellsFlag = flag.String("cells", "", "with -grid: half-open cell range a:b to execute (default: all cells)")
+		shardFlag = flag.String("shard", "", "with -grid: execute shard k/N (0-indexed) of the plan's cells")
+		jsonCells = flag.String("json-cells", "", "with -grid/-merge: write the shard envelope / merged document here")
+		merge     = flag.Bool("merge", false, "merge the shard envelopes given as arguments into the canonical document")
 	)
 	flag.Parse()
 	cfg := exp.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+
+	if *merge || *gridID != "" {
+		if *jsonPath != "" {
+			log.Fatal("-json is the BENCH_sim.json perf record and does not apply to -grid/-merge; use -json-cells for the envelope/merged document")
+		}
+	}
+	if *merge {
+		runMerge(*jsonCells, flag.Args())
+		return
+	}
+	if *gridID != "" {
+		runGridRange(cfg, *gridID, *cellsFlag, *shardFlag, *jsonCells)
+		return
+	}
+	if *cellsFlag != "" || *shardFlag != "" || *jsonCells != "" {
+		log.Fatal("-cells/-shard/-json-cells need -grid (or -merge for -json-cells)")
+	}
 
 	if *lpOnly {
 		start := time.Now()
@@ -59,6 +104,7 @@ func main() {
 		fmt.Printf("_LP benchmarks completed in %.1fs_\n", time.Since(start).Seconds())
 		if *jsonPath != "" {
 			file := exp.NewSimBenchFile(cfg)
+			file.Commit = *commit
 			file.LPBench = rows
 			out, err := exp.WriteSimBenchJSON(file)
 			if err != nil {
@@ -98,6 +144,7 @@ func main() {
 	if *jsonPath != "" {
 		start := time.Now()
 		file := exp.SimBenchmarks(cfg)
+		file.Commit = *commit
 		out, err := exp.WriteSimBenchJSON(file)
 		if err != nil {
 			log.Fatalf("marshal engine benchmarks: %v", err)
@@ -111,4 +158,104 @@ func main() {
 		fmt.Printf("_engine benchmarks (%d families) written to %s in %.1fs_\n",
 			len(file.Benchmarks), *jsonPath, time.Since(start).Seconds())
 	}
+}
+
+// runGridRange executes a cell range of one shardable grid table and
+// writes the partial-result envelope.
+func runGridRange(cfg exp.Config, gridID, cellsFlag, shardFlag, jsonCells string) {
+	g, ok := exp.GridDriverByID(gridID)
+	if !ok {
+		log.Fatalf("unknown grid table %q: shardable tables are %s", gridID, exp.GridDriverIDs())
+	}
+	plan := g.Plan(cfg)
+	total := plan.NumCells()
+	r := exp.CellRange{Lo: 0, Hi: total}
+	var err error
+	switch {
+	case cellsFlag != "" && shardFlag != "":
+		log.Fatal("-cells and -shard are mutually exclusive")
+	case cellsFlag != "":
+		r, err = exp.ParseCellRange(cellsFlag, total)
+	case shardFlag != "":
+		r, err = exp.ParseShard(shardFlag, total)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if r.Len() != total && jsonCells == "" {
+		// A partial range exists only to feed a merge; without an
+		// envelope destination the cells would be computed and thrown
+		// away.
+		log.Fatal("-cells/-shard runs a partial range: add -json-cells to keep the shard envelope")
+	}
+	start := time.Now()
+	shard := exp.RunShard(cfg, exp.ShardSpec{Plan: plan, Range: r})
+	if jsonCells != "" {
+		data, err := exp.EncodeShardFile(shard)
+		if err != nil {
+			log.Fatalf("encode shard: %v", err)
+		}
+		if err := os.WriteFile(jsonCells, data, 0o644); err != nil {
+			log.Fatalf("write %s: %v", jsonCells, err)
+		}
+	}
+	if r.Len() == total {
+		// A full-range run is just the sequential table with a receipt.
+		results := exp.ShardResults([]*exp.ShardFile{shard})
+		fmt.Println(g.Render(cfg, results).Markdown())
+	}
+	fmt.Printf("_%s cells [%s) of %d (fingerprint %s) completed in %.1fs_\n",
+		plan.ID, r, total, shard.Fingerprint, time.Since(start).Seconds())
+}
+
+// runMerge validates and merges shard envelopes into the canonical
+// document, rendering the table when the plan is a known grid table.
+func runMerge(jsonCells string, paths []string) {
+	if len(paths) == 0 {
+		log.Fatal("-merge needs shard files as arguments")
+	}
+	var shards []*exp.ShardFile
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := exp.DecodeShardFile(data)
+		if err != nil {
+			log.Fatalf("%s: %v", p, err)
+		}
+		shards = append(shards, f)
+	}
+	m, err := exp.Merge(shards)
+	if err != nil {
+		log.Fatalf("merge of %d shards failed: %v", len(shards), err)
+	}
+	out, err := m.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonCells == "" {
+		// No output file: the canonical document IS the stdout payload.
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(jsonCells, out, 0o644); err != nil {
+		log.Fatalf("write %s: %v", jsonCells, err)
+	}
+	// Render the table only when this binary's plan is the one the
+	// envelopes were cut from: after plan drift (a point added or
+	// removed in a newer binary) the merged document is still valid,
+	// but rendering it against the re-derived plan would mis-group or
+	// slice out of bounds.
+	if g, ok := exp.GridDriverByID(m.Plan); ok {
+		cfg := exp.Config{Quick: m.Quick, Seed: m.Seed}
+		if fp := exp.Fingerprint(cfg, g.Plan(cfg)); fp == m.Fingerprint {
+			fmt.Println(g.Render(cfg, exp.ShardResults(shards)).Markdown())
+		} else {
+			fmt.Fprintf(os.Stderr, "note: %s plan in this binary (fingerprint %s) differs from the envelopes' (%s); merged document written, table rendering skipped\n",
+				m.Plan, fp, m.Fingerprint)
+		}
+	}
+	fmt.Printf("_merged %d shards (%d cells, plan %s, fingerprint %s) into %s_\n",
+		len(shards), m.TotalCells, m.Plan, m.Fingerprint, jsonCells)
 }

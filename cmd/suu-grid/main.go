@@ -1,0 +1,224 @@
+// Command suu-grid is the local multi-process sweep coordinator: it
+// cuts a shardable grid table (T13, T14) into contiguous cell ranges,
+// forks one worker process per shard (capped at one running per
+// core), streams each worker's partial-result envelope through a
+// shard file, merges the envelopes with full gap/overlap/fingerprint
+// validation, and renders the exact table the sequential path
+// produces. Cell values are bit-identical to a single-process run by
+// the grid harness's seed contract; only wall-clock columns depend on
+// who computed them.
+//
+// Usage:
+//
+//	suu-grid -grid T13                  # shard across all cores
+//	suu-grid -grid T13,T14 -quick       # several tables in sequence
+//	suu-grid -grid T14 -shards 3        # explicit shard count
+//	suu-grid -grid T13 -json out.json   # keep the merged document
+//	suu-grid -grid T13 -verify          # also run the whole plan
+//	                                    # in-process and byte-compare
+//	                                    # the two canonical documents
+//	suu-grid -grid T13 -dir work -keep  # keep the shard envelopes
+//
+// Workers are re-executions of this binary (-worker mode) running the
+// same plan slice via internal/exp, so the coordinator needs no other
+// binary on PATH; each worker runs its cells on a single-goroutine
+// pool (process-level parallelism replaces the in-process pool).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"suu/internal/exp"
+)
+
+func main() {
+	var (
+		grids  = flag.String("grid", "", "comma-separated shardable grid tables to run (T13, T14)")
+		shards = flag.Int("shards", 0, "worker process count (0 = one per core)")
+		quick  = flag.Bool("quick", false, "smaller sweeps and repetition counts")
+		seed   = flag.Int64("seed", 1, "random seed")
+		jsonP  = flag.String("json", "", "write the merged canonical document here (single -grid only)")
+		dir    = flag.String("dir", "", "shard-file directory (default: a temp dir)")
+		keep   = flag.Bool("keep", false, "keep the shard envelopes instead of deleting them")
+		verify = flag.Bool("verify", false, "re-run the plan in-process and byte-compare against the merge")
+
+		// Worker-mode flags: suu-grid re-executes itself with -worker to
+		// run one shard. Internal, but documented so the process tree
+		// reads honestly in ps output.
+		worker    = flag.Bool("worker", false, "internal: run one shard and exit")
+		cells     = flag.String("cells", "", "internal: worker cell range a:b")
+		jsonCells = flag.String("json-cells", "", "internal: worker shard-envelope output path")
+	)
+	flag.Parse()
+	if *grids == "" {
+		log.Fatal("need -grid (shardable tables: " + exp.GridDriverIDs() + ")")
+	}
+	cfg := exp.Config{Quick: *quick, Seed: *seed}
+
+	if *worker {
+		runWorker(cfg, *grids, *cells, *jsonCells)
+		return
+	}
+
+	ids := strings.Split(*grids, ",")
+	if *jsonP != "" && len(ids) != 1 {
+		log.Fatal("-json needs exactly one -grid table")
+	}
+	workDir := *dir
+	if workDir == "" {
+		tmp, err := os.MkdirTemp("", "suu-grid-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		workDir = tmp
+		if !*keep {
+			defer os.RemoveAll(tmp)
+		}
+	} else if err := os.MkdirAll(workDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	n := *shards
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	for _, id := range ids {
+		coordinate(cfg, strings.TrimSpace(id), n, workDir, *jsonP, *verify)
+	}
+	if *keep {
+		fmt.Printf("_shard envelopes kept in %s_\n", workDir)
+	}
+}
+
+// runWorker is one forked process: execute the range, write the
+// envelope, exit. Cells run on a single-goroutine pool — the
+// coordinator already owns the core fan-out.
+func runWorker(cfg exp.Config, gridID, cells, outPath string) {
+	g, ok := exp.GridDriverByID(gridID)
+	if !ok {
+		log.Fatalf("worker: unknown grid table %q", gridID)
+	}
+	if outPath == "" {
+		log.Fatal("worker: need -json-cells")
+	}
+	cfg.Workers = 1
+	plan := g.Plan(cfg)
+	r, err := exp.ParseCellRange(cells, plan.NumCells())
+	if err != nil {
+		log.Fatalf("worker: %v", err)
+	}
+	data, err := exp.EncodeShardFile(exp.RunShard(cfg, exp.ShardSpec{Plan: plan, Range: r}))
+	if err != nil {
+		log.Fatalf("worker: encode shard: %v", err)
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		log.Fatalf("worker: %v", err)
+	}
+}
+
+// coordinate shards one grid table across worker processes and merges
+// the results.
+func coordinate(cfg exp.Config, gridID string, shards int, workDir, jsonPath string, verify bool) {
+	g, ok := exp.GridDriverByID(gridID)
+	if !ok {
+		log.Fatalf("unknown grid table %q: shardable tables are %s", gridID, exp.GridDriverIDs())
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := g.Plan(cfg)
+	total := plan.NumCells()
+	ranges := exp.ShardRanges(total, shards)
+	fmt.Printf("# %s: %d cells across %d worker processes (fingerprint %s)\n\n",
+		plan.ID, total, len(ranges), exp.Fingerprint(cfg, plan))
+
+	start := time.Now()
+	paths := make([]string, len(ranges))
+	errs := make([]error, len(ranges))
+	// One running worker per core: the shard count may exceed the
+	// machine (an 8-shard run of a 3-core box), and oversubscribing
+	// cores would only distort the timing columns.
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		paths[i] = filepath.Join(workDir, fmt.Sprintf("%s-shard-%d.json", strings.ToLower(plan.ID), i))
+		wg.Add(1)
+		go func(i int, r exp.CellRange) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			args := []string{
+				"-worker", "-grid", plan.ID,
+				"-seed", fmt.Sprint(cfg.Seed),
+				"-cells", r.String(),
+				"-json-cells", paths[i],
+			}
+			if cfg.Quick {
+				args = append(args, "-quick")
+			}
+			cmd := exec.Command(exe, args...)
+			var out bytes.Buffer
+			cmd.Stdout, cmd.Stderr = &out, &out
+			if err := cmd.Run(); err != nil {
+				errs[i] = fmt.Errorf("shard %d %s: %v\n%s", i, r, err, out.String())
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	forkWall := time.Since(start)
+
+	files := make([]*exp.ShardFile, len(paths))
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if files[i], err = exp.DecodeShardFile(data); err != nil {
+			log.Fatalf("%s: %v", p, err)
+		}
+	}
+	m, err := exp.Merge(files)
+	if err != nil {
+		log.Fatalf("merge: %v", err)
+	}
+	fmt.Println(g.Render(cfg, exp.ShardResults(files)).Markdown())
+	fmt.Printf("_%s: %d shards forked, run, and merged in %.1fs_\n\n",
+		plan.ID, len(ranges), forkWall.Seconds())
+
+	out, err := m.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonPath != "" {
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("_merged document written to %s_\n\n", jsonPath)
+	}
+	if verify {
+		want, err := exp.RunMerged(exp.Config{Quick: cfg.Quick, Seed: cfg.Seed}, plan).JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(out, want) {
+			log.Fatalf("%s: merged document differs from the in-process sequential run — the hermetic-cell contract is broken", plan.ID)
+		}
+		fmt.Printf("_verify: %d-shard merge is byte-identical to the in-process run (%d bytes)_\n\n", len(ranges), len(out))
+	}
+}

@@ -47,7 +47,9 @@ func A1(cfg Config) *Table {
 		pseudo := core.BuildPseudo(in, chains, ints.X)
 		congOff := pseudo.MaxCongestion()
 		lenOff := pseudo.Flatten().Len()
-		prng := rand.New(rand.NewSource(sim.SeedFor(seed, "delays")))
+		// SplitMix64 via sim.Stream, matching the grid path's seed
+		// derivation (see chains.go).
+		prng := rand.New(sim.NewStream(sim.SeedFor(seed, "delays")))
 		delays, congOn := pseudo.BestDelays(pseudo.MaxLoad(), 64, prng)
 		lenOn := pseudo.WithDelays(delays).Flatten().Len()
 		return row{cells: []string{d(p.n), d(p.m), d(p.c), d(congOff), d(lenOff), d(congOn), d(lenOn)}, ok: true}

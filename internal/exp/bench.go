@@ -87,7 +87,11 @@ type GridHarnessBench struct {
 
 // SimBenchFile is the BENCH_sim.json document.
 type SimBenchFile struct {
-	Generated  string     `json:"generated"`
+	Generated string `json:"generated"`
+	// Commit is the VCS revision the record was measured at (CI passes
+	// $GITHUB_SHA through suu-bench -commit), so an uploaded artifact
+	// is attributable without its workflow context.
+	Commit     string     `json:"commit,omitempty"`
 	GoVersion  string     `json:"go_version"`
 	GOMAXPROCS int        `json:"gomaxprocs"`
 	Quick      bool       `json:"quick"`

@@ -125,7 +125,10 @@ func T7(cfg Config) *Table {
 		pseudo := core.BuildPseudo(in, chains, ints.X)
 		before := pseudo.MaxCongestion()
 		maxLoad := pseudo.MaxLoad()
-		prng := rand.New(rand.NewSource(sim.SeedFor(seed, "delays")))
+		// SplitMix64 via sim.Stream, not math/rand's LCG: every derived
+		// stream in the drivers goes through sim.SeedFor so cells stay
+		// hermetic across process shards.
+		prng := rand.New(sim.NewStream(sim.SeedFor(seed, "delays")))
 		_, after := pseudo.BestDelays(maxLoad, 64, prng)
 		lnm := stats.Log2(float64(p.n+p.m) + 1)
 		shape := lnm / math.Log2(lnm+2)

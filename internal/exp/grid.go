@@ -178,6 +178,17 @@ type GridCell struct {
 	Trial  int
 }
 
+// NumCells returns len(s.Cells()) without materializing it. Every
+// consumer that sizes or offsets into the enumeration (shard ranges,
+// renderer segments) goes through this one definition.
+func (s GridSpec) NumCells() int {
+	trials := s.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	return len(s.Points) * len(s.Solvers) * trials
+}
+
 // Cells enumerates the cross product in deterministic order: points
 // outermost, then solvers, then trials.
 func (s GridSpec) Cells() []GridCell {
@@ -185,7 +196,7 @@ func (s GridSpec) Cells() []GridCell {
 	if trials < 1 {
 		trials = 1
 	}
-	cells := make([]GridCell, 0, len(s.Points)*len(s.Solvers)*trials)
+	cells := make([]GridCell, 0, s.NumCells())
 	for _, p := range s.Points {
 		for _, id := range s.Solvers {
 			for k := 0; k < trials; k++ {

@@ -8,12 +8,15 @@ package exp
 // and pivot counts so the large-instance path has a perf trail in
 // every run, not just in BENCH_sim.json.
 func T14(cfg Config) *Table {
-	t := &Table{
-		ID:         "T14",
-		Title:      "Large instances via sparse revised simplex",
-		PaperBound: "polynomial time (the paper's claim), demonstrated at 256–512 jobs",
-		Header:     []string{"scenario", "n", "m", "solver", "build ms", "LP pivots", "E[makespan]", "lower bound"},
-	}
+	g, _ := GridDriverByID("T14")
+	return runGridDriver(cfg, g)
+}
+
+// t14Plan declares T14's three (point, solver) pairings as
+// single-cell specs — the smallest real sharding surface, which is
+// exactly why the shard tests split it 3 and 8 ways (8 exercises
+// empty shards).
+func t14Plan(cfg Config) GridPlan {
 	points := []struct {
 		p      GridPoint
 		solver string
@@ -27,22 +30,38 @@ func T14(cfg Config) *Table {
 		points[1].p.Jobs, points[1].p.Arg = 128, 8
 		points[2].p.Jobs = 128
 	}
+	plan := GridPlan{ID: "T14"}
 	for _, pt := range points {
-		results := RunGrid(cfg, GridSpec{Points: []GridPoint{pt.p}, Solvers: []string{pt.solver}, Trials: 1})
-		for _, r := range results {
-			if r.Err != nil {
-				t.Rows = append(t.Rows, []string{pt.p.Scenario, d(pt.p.Jobs), d(pt.p.Machines), pt.solver, "—", "—", "error: " + r.Err.Error(), "—"})
-				continue
-			}
-			mean := "step cap hit"
-			if r.Mean >= 0 {
-				mean = f2(r.Mean)
-			}
-			t.Rows = append(t.Rows, []string{
-				pt.p.Scenario, d(pt.p.Jobs), d(pt.p.Machines), pt.solver,
-				f2(float64(r.BuildTime.Microseconds()) / 1000), d(r.LPPivots), mean, f2(r.LowerBound),
-			})
+		plan.Specs = append(plan.Specs, GridSpec{
+			Points: []GridPoint{pt.p}, Solvers: []string{pt.solver}, Trials: 1,
+		})
+	}
+	return plan
+}
+
+// renderT14 builds the table straight from the results — every column
+// is carried by the cell itself.
+func renderT14(cfg Config, results []GridResult) *Table {
+	t := &Table{
+		ID:         "T14",
+		Title:      "Large instances via sparse revised simplex",
+		PaperBound: "polynomial time (the paper's claim), demonstrated at 256–512 jobs",
+		Header:     []string{"scenario", "n", "m", "solver", "build ms", "LP pivots", "E[makespan]", "lower bound"},
+	}
+	for _, r := range results {
+		p := r.Cell.Point
+		if r.Err != nil {
+			t.Rows = append(t.Rows, []string{p.Scenario, d(p.Jobs), d(p.Machines), r.Cell.Solver, "—", "—", "error: " + r.Err.Error(), "—"})
+			continue
 		}
+		mean := "step cap hit"
+		if r.Mean >= 0 {
+			mean = f2(r.Mean)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Scenario, d(p.Jobs), d(p.Machines), r.Cell.Solver,
+			f2(float64(r.BuildTime.Microseconds()) / 1000), d(r.LPPivots), mean, f2(r.LowerBound),
+		})
 	}
 	t.Notes = "Build wall-clock includes the full construction (LP solve, rounding, delays, replication). " +
 		"Before the sparse solver these cells were intractable: the dense tableau at n=256 chains carries ~2300 rows " +

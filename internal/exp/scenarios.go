@@ -6,14 +6,17 @@ package exp
 // tunable antichain width. Each point runs every applicable registry
 // solver; rows report who wins where. Beyond its findings, the table
 // is the living example of declaring a grid: add a Scenario and a
-// GridPoint and the harness does the rest.
+// GridPoint and the harness — including the process-sharded path —
+// does the rest.
 func T13(cfg Config) *Table {
-	t := &Table{
-		ID:         "T13",
-		Title:      "Scenario grid: new workload families × solver registry",
-		PaperBound: "beyond the paper's experiments; guarantees still per solver class",
-		Header:     []string{"scenario", "n", "m", "arg", "class", "solver", "E[makespan]", "vs best"},
-	}
+	g, _ := GridDriverByID("T13")
+	return runGridDriver(cfg, g)
+}
+
+// t13Plan declares T13's cell surface: one spec per point, because
+// each point carries its own applicable-solver set (the pairing is
+// not a cross product).
+func t13Plan(cfg Config) GridPlan {
 	n, m := 24, 6
 	if cfg.Quick {
 		n, m = 16, 4
@@ -24,6 +27,7 @@ func T13(cfg Config) *Table {
 		{Scenario: "layered-width", Jobs: n, Machines: m, Arg: 2},
 		{Scenario: "layered-width", Jobs: n, Machines: m, Arg: 6},
 	}
+	plan := GridPlan{ID: "T13"}
 	for _, p := range points {
 		sc, _ := ScenarioByName(p.Scenario)
 		// Skip the learner and random baseline here: both are slow
@@ -35,14 +39,32 @@ func T13(cfg Config) *Table {
 			}
 			solvers = append(solvers, id)
 		}
-		results := RunGrid(cfg, GridSpec{Points: []GridPoint{p}, Solvers: solvers, Trials: 1})
+		plan.Specs = append(plan.Specs, GridSpec{Points: []GridPoint{p}, Solvers: solvers, Trials: 1})
+	}
+	return plan
+}
+
+// renderT13 builds the table from the plan's results, one best-of
+// aggregation per point.
+func renderT13(cfg Config, results []GridResult) *Table {
+	t := &Table{
+		ID:         "T13",
+		Title:      "Scenario grid: new workload families × solver registry",
+		PaperBound: "beyond the paper's experiments; guarantees still per solver class",
+		Header:     []string{"scenario", "n", "m", "arg", "class", "solver", "E[makespan]", "vs best"},
+	}
+	off := 0
+	for _, seg := range specSegments(t13Plan(cfg)) {
+		block := results[off : off+seg]
+		off += seg
 		best := -1.0
-		for _, r := range results {
+		for _, r := range block {
 			if r.Err == nil && r.Mean > 0 && (best < 0 || r.Mean < best) {
 				best = r.Mean
 			}
 		}
-		for _, r := range results {
+		for _, r := range block {
+			p := r.Cell.Point
 			if r.Err != nil || r.Mean < 0 {
 				t.Rows = append(t.Rows, []string{p.Scenario, d(p.Jobs), d(p.Machines), d(p.Arg), r.Class, r.Cell.Solver, "did not finish", "—"})
 			} else {

@@ -48,6 +48,19 @@ func (s *Stream) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
 }
 
+// Int63 returns 63 uniform bits. Together with Seed it makes *Stream
+// a math/rand Source64, so harness code that needs rand.Rand's
+// derived distributions (Intn for delay vectors, Perm, …) can draw
+// them from the same SplitMix64 streams the engine and the grid use:
+// rand.New(sim.NewStream(sim.SeedFor(root, label))). No experiment
+// path should seed math/rand's default LCG — a shard boundary must
+// never be able to observe generator state another cell advanced, and
+// SeedFor-derived streams make sharing structurally impossible.
+func (s *Stream) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed repositions the stream at (seed, 0), satisfying rand.Source.
+func (s *Stream) Seed(seed int64) { s.Reseed(seed, 0) }
+
 // SeedFor derives an independent seed for a labeled cell of work from
 // a root seed: every (label, coords) combination maps to a
 // decorrelated SplitMix64 state, so parallel harnesses can hand each
