@@ -27,8 +27,9 @@
 //	                          # record holds just the lp_bench section
 //
 // Distributed sweeps (see README "Distributed sweeps"): a shardable
-// grid table (T13, T14) can be cut into half-open cell ranges, each
-// executed in its own process, and merged bit-identically:
+// grid table (T13, T14, the T10 solver sweep, the A2/A5 ablation
+// grids) can be cut into half-open cell ranges, each executed in its
+// own process, and merged bit-identically:
 //
 //	suu-bench -grid T13 -cells 0:12 -json-cells s0.json
 //	                          # run cells [0:12) of T13's plan and
@@ -71,7 +72,7 @@ func main() {
 		lpOnly   = flag.Bool("lp", false, "benchmark the LP layer in isolation and exit (skips the experiment drivers)")
 		commit   = flag.String("commit", os.Getenv("GITHUB_SHA"), "commit SHA to embed in the -json perf record (defaults to $GITHUB_SHA)")
 
-		gridID    = flag.String("grid", "", "run one shardable grid table (T13, T14) through the cell-range path")
+		gridID    = flag.String("grid", "", "run one shardable grid table (T13, T14, T10, A2, A5) through the cell-range path")
 		cellsFlag = flag.String("cells", "", "with -grid: half-open cell range a:b to execute (default: all cells)")
 		shardFlag = flag.String("shard", "", "with -grid: execute shard k/N (0-indexed) of the plan's cells")
 		jsonCells = flag.String("json-cells", "", "with -grid/-merge: write the shard envelope / merged document here")

@@ -1,18 +1,24 @@
 // Command suu-grid is the local multi-process sweep coordinator: it
-// cuts a shardable grid table (T13, T14) into contiguous cell ranges,
-// forks one worker process per shard (capped at one running per
-// core), streams each worker's partial-result envelope through a
-// shard file, merges the envelopes with full gap/overlap/fingerprint
-// validation, and renders the exact table the sequential path
-// produces. Cell values are bit-identical to a single-process run by
-// the grid harness's seed contract; only wall-clock columns depend on
-// who computed them.
+// cuts a shardable grid table (T13, T14, T10, A2, A5) into contiguous
+// cell ranges, forks one worker process per shard (capped at one
+// running per core), streams each worker's partial-result envelope
+// through a shard file, merges the envelopes with full
+// gap/overlap/fingerprint validation, and renders the exact table the
+// sequential path produces. Cell values are bit-identical to a
+// single-process run by the grid harness's seed contract; only
+// wall-clock columns depend on who computed them.
+//
+// A failed or killed worker does not sink the sweep: the merge
+// reports exactly which cell range is missing (exp.MissingRangeError)
+// and the coordinator re-issues just that range, up to -retries times
+// per range, before giving up.
 //
 // Usage:
 //
 //	suu-grid -grid T13                  # shard across all cores
 //	suu-grid -grid T13,T14 -quick       # several tables in sequence
 //	suu-grid -grid T14 -shards 3        # explicit shard count
+//	suu-grid -grid T13 -retries 2       # re-issue a lost range twice
 //	suu-grid -grid T13 -json out.json   # keep the merged document
 //	suu-grid -grid T13 -verify          # also run the whole plan
 //	                                    # in-process and byte-compare
@@ -27,6 +33,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -43,14 +50,15 @@ import (
 
 func main() {
 	var (
-		grids  = flag.String("grid", "", "comma-separated shardable grid tables to run (T13, T14)")
-		shards = flag.Int("shards", 0, "worker process count (0 = one per core)")
-		quick  = flag.Bool("quick", false, "smaller sweeps and repetition counts")
-		seed   = flag.Int64("seed", 1, "random seed")
-		jsonP  = flag.String("json", "", "write the merged canonical document here (single -grid only)")
-		dir    = flag.String("dir", "", "shard-file directory (default: a temp dir)")
-		keep   = flag.Bool("keep", false, "keep the shard envelopes instead of deleting them")
-		verify = flag.Bool("verify", false, "re-run the plan in-process and byte-compare against the merge")
+		grids   = flag.String("grid", "", "comma-separated shardable grid tables to run ("+exp.GridDriverIDs()+")")
+		shards  = flag.Int("shards", 0, "worker process count (0 = one per core)")
+		quick   = flag.Bool("quick", false, "smaller sweeps and repetition counts")
+		seed    = flag.Int64("seed", 1, "random seed")
+		retries = flag.Int("retries", 1, "times to re-issue a failed or missing shard range before giving up")
+		jsonP   = flag.String("json", "", "write the merged canonical document here (single -grid only)")
+		dir     = flag.String("dir", "", "shard-file directory (default: a temp dir)")
+		keep    = flag.Bool("keep", false, "keep the shard envelopes instead of deleting them")
+		verify  = flag.Bool("verify", false, "re-run the plan in-process and byte-compare against the merge")
 
 		// Worker-mode flags: suu-grid re-executes itself with -worker to
 		// run one shard. Internal, but documented so the process tree
@@ -93,7 +101,10 @@ func main() {
 		n = runtime.NumCPU()
 	}
 	for _, id := range ids {
-		coordinate(cfg, strings.TrimSpace(id), n, workDir, *jsonP, *verify)
+		gridID := strings.TrimSpace(id)
+		if err := coordinate(cfg, gridID, n, *retries, workDir, *jsonP, *verify, processWorker(cfg, gridID)); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *keep {
 		fmt.Printf("_shard envelopes kept in %s_\n", workDir)
@@ -126,16 +137,50 @@ func runWorker(cfg exp.Config, gridID, cells, outPath string) {
 	}
 }
 
-// coordinate shards one grid table across worker processes and merges
-// the results.
-func coordinate(cfg exp.Config, gridID string, shards int, workDir, jsonPath string, verify bool) {
-	g, ok := exp.GridDriverByID(gridID)
-	if !ok {
-		log.Fatalf("unknown grid table %q: shardable tables are %s", gridID, exp.GridDriverIDs())
-	}
+// workerFunc executes one cell range and writes its shard envelope to
+// outPath. The coordinator only depends on this contract, which is
+// what lets the retry loop be unit-tested with an in-process worker
+// that simulates a killed process.
+type workerFunc func(r exp.CellRange, outPath string) error
+
+// processWorker returns the production workerFunc: re-execute this
+// binary in -worker mode for the range.
+func processWorker(cfg exp.Config, gridID string) workerFunc {
 	exe, err := os.Executable()
 	if err != nil {
-		log.Fatal(err)
+		return func(exp.CellRange, string) error { return err }
+	}
+	return func(r exp.CellRange, outPath string) error {
+		args := []string{
+			"-worker", "-grid", gridID,
+			"-seed", fmt.Sprint(cfg.Seed),
+			"-cells", r.String(),
+			"-json-cells", outPath,
+		}
+		if cfg.Quick {
+			args = append(args, "-quick")
+		}
+		cmd := exec.Command(exe, args...)
+		var out bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &out
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("worker %s: %v\n%s", r, err, out.String())
+		}
+		return nil
+	}
+}
+
+// coordinate shards one grid table across worker processes, retries
+// lost ranges, and merges the results. Worker failures are survivable
+// — the merge names the missing [lo:hi) range and the coordinator
+// re-issues exactly that range up to `retries` times per range; every
+// other merge failure (overlap, fingerprint mismatch, corrupt
+// envelope) stays fatal, because re-running cannot repair a sweep
+// that is lying about its identity.
+func coordinate(cfg exp.Config, gridID string, shards, retries int, workDir, jsonPath string, verify bool, run workerFunc) error {
+	g, ok := exp.GridDriverByID(gridID)
+	if !ok {
+		return fmt.Errorf("unknown grid table %q: shardable tables are %s", gridID, exp.GridDriverIDs())
 	}
 	plan := g.Plan(cfg)
 	total := plan.NumCells()
@@ -158,67 +203,103 @@ func coordinate(cfg exp.Config, gridID string, shards int, workDir, jsonPath str
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			args := []string{
-				"-worker", "-grid", plan.ID,
-				"-seed", fmt.Sprint(cfg.Seed),
-				"-cells", r.String(),
-				"-json-cells", paths[i],
-			}
-			if cfg.Quick {
-				args = append(args, "-quick")
-			}
-			cmd := exec.Command(exe, args...)
-			var out bytes.Buffer
-			cmd.Stdout, cmd.Stderr = &out, &out
-			if err := cmd.Run(); err != nil {
-				errs[i] = fmt.Errorf("shard %d %s: %v\n%s", i, r, err, out.String())
-			}
+			errs[i] = run(r, paths[i])
 		}(i, r)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			log.Fatal(err)
+
+	// Collect the envelopes that made it. A worker that failed (or
+	// died without writing) leaves a gap the merge will name; anything
+	// it did write is suspect and excluded.
+	var files []*exp.ShardFile
+	for i, p := range paths {
+		if errs[i] != nil {
+			fmt.Printf("_shard %d %s failed (will re-issue): %v_\n\n", i, ranges[i], errs[i])
+			continue
 		}
+		f, err := readShard(p)
+		if err != nil {
+			fmt.Printf("_shard %d %s unreadable (will re-issue): %v_\n\n", i, ranges[i], err)
+			continue
+		}
+		files = append(files, f)
+	}
+
+	// Merge, re-issuing each missing range up to `retries` times. The
+	// merge reports one gap at a time, so several lost workers drain
+	// through successive rounds. Zero surviving envelopes is the
+	// extreme gap — the whole plan is missing — and must enter the
+	// same retry loop, not die on Merge's zero-shards error.
+	attempts := map[exp.CellRange]int{}
+	var m *exp.MergedGrid
+	for {
+		var err error
+		if len(files) == 0 {
+			err = &exp.MissingRangeError{Range: exp.CellRange{Lo: 0, Hi: total}}
+		} else {
+			m, err = exp.Merge(files)
+		}
+		if err == nil {
+			break
+		}
+		var miss *exp.MissingRangeError
+		if !errors.As(err, &miss) {
+			return fmt.Errorf("merge: %v", err)
+		}
+		if attempts[miss.Range] >= retries {
+			return fmt.Errorf("merge: %v (range re-issued %d time(s), giving up)", err, attempts[miss.Range])
+		}
+		attempts[miss.Range]++
+		path := filepath.Join(workDir, fmt.Sprintf("%s-retry-%d-%d-%d.json",
+			strings.ToLower(plan.ID), miss.Range.Lo, miss.Range.Hi, attempts[miss.Range]))
+		fmt.Printf("_re-issuing missing range %s (attempt %d of %d)_\n\n", miss.Range, attempts[miss.Range], retries)
+		if err := run(miss.Range, path); err != nil {
+			// The retry worker failed too; loop so the attempt counter
+			// decides whether to try again or give up.
+			fmt.Printf("_retry of %s failed: %v_\n\n", miss.Range, err)
+			continue
+		}
+		f, err := readShard(path)
+		if err != nil {
+			fmt.Printf("_retry envelope for %s unreadable: %v_\n\n", miss.Range, err)
+			continue
+		}
+		files = append(files, f)
 	}
 	forkWall := time.Since(start)
 
-	files := make([]*exp.ShardFile, len(paths))
-	for i, p := range paths {
-		data, err := os.ReadFile(p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if files[i], err = exp.DecodeShardFile(data); err != nil {
-			log.Fatalf("%s: %v", p, err)
-		}
-	}
-	m, err := exp.Merge(files)
-	if err != nil {
-		log.Fatalf("merge: %v", err)
-	}
 	fmt.Println(g.Render(cfg, exp.ShardResults(files)).Markdown())
 	fmt.Printf("_%s: %d shards forked, run, and merged in %.1fs_\n\n",
 		plan.ID, len(ranges), forkWall.Seconds())
 
 	out, err := m.JSON()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if jsonPath != "" {
 		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("_merged document written to %s_\n\n", jsonPath)
 	}
 	if verify {
 		want, err := exp.RunMerged(exp.Config{Quick: cfg.Quick, Seed: cfg.Seed}, plan).JSON()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if !bytes.Equal(out, want) {
-			log.Fatalf("%s: merged document differs from the in-process sequential run — the hermetic-cell contract is broken", plan.ID)
+			return fmt.Errorf("%s: merged document differs from the in-process sequential run — the hermetic-cell contract is broken", plan.ID)
 		}
 		fmt.Printf("_verify: %d-shard merge is byte-identical to the in-process run (%d bytes)_\n\n", len(ranges), len(out))
 	}
+	return nil
+}
+
+// readShard loads and decodes one envelope.
+func readShard(path string) (*exp.ShardFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return exp.DecodeShardFile(data)
 }

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"suu/internal/exp"
+)
+
+// testWorker is an in-process workerFunc that simulates killed worker
+// processes: ranges listed in kill fail (no envelope written) that
+// many times before succeeding. Everything else runs the real
+// exp.RunShard, so the merged output is the production payload.
+func testWorker(t *testing.T, cfg exp.Config, gridID string, kill map[exp.CellRange]int) workerFunc {
+	t.Helper()
+	g, ok := exp.GridDriverByID(gridID)
+	if !ok {
+		t.Fatalf("unknown grid %q", gridID)
+	}
+	wcfg := cfg
+	wcfg.Workers = 1
+	plan := g.Plan(wcfg)
+	var mu sync.Mutex
+	return func(r exp.CellRange, outPath string) error {
+		mu.Lock()
+		if kill[r] > 0 {
+			kill[r]--
+			mu.Unlock()
+			return os.ErrProcessDone // stands in for a killed worker
+		}
+		mu.Unlock()
+		data, err := exp.EncodeShardFile(exp.RunShard(wcfg, exp.ShardSpec{Plan: plan, Range: r}))
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(outPath, data, 0o644)
+	}
+}
+
+// TestCoordinateRetriesKilledWorker is the shard-level retry
+// acceptance test: one worker of a 3-shard A2 sweep dies without
+// writing its envelope, the coordinator parses the missing [lo:hi)
+// range out of the merge error, re-issues exactly that range, and the
+// final merged document is byte-identical to the in-process
+// sequential run.
+func TestCoordinateRetriesKilledWorker(t *testing.T) {
+	cfg := exp.Config{Quick: true, Seed: 5}
+	g, _ := exp.GridDriverByID("A2")
+	plan := g.Plan(cfg)
+	ranges := exp.ShardRanges(plan.NumCells(), 3)
+	if len(ranges) != 3 || ranges[1].Len() == 0 {
+		t.Fatalf("fixture needs 3 non-trivial shards, got %v", ranges)
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "merged.json")
+	kill := map[exp.CellRange]int{ranges[1]: 1} // middle worker dies once
+	if err := coordinate(cfg, "A2", 3, 1, dir, jsonPath, false, testWorker(t, cfg, "A2", kill)); err != nil {
+		t.Fatalf("coordinate with one killed worker: %v", err)
+	}
+	got, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exp.RunMerged(cfg, plan).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("retried sweep's merged document differs from the sequential run")
+	}
+}
+
+// TestCoordinateRetriesWhenEveryWorkerDies: total failure — zero
+// surviving envelopes — is the extreme gap and must enter the same
+// retry loop (a single re-issued full-range worker repairs it)
+// instead of dying on Merge's zero-shards error.
+func TestCoordinateRetriesWhenEveryWorkerDies(t *testing.T) {
+	cfg := exp.Config{Quick: true, Seed: 5}
+	g, _ := exp.GridDriverByID("A2")
+	plan := g.Plan(cfg)
+	total := plan.NumCells()
+	kill := map[exp.CellRange]int{}
+	for _, r := range exp.ShardRanges(total, 3) {
+		kill[r] = 1 // every initial worker dies once
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "merged.json")
+	if err := coordinate(cfg, "A2", 3, 1, dir, jsonPath, false, testWorker(t, cfg, "A2", kill)); err != nil {
+		t.Fatalf("coordinate with all workers killed once: %v", err)
+	}
+	got, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exp.RunMerged(cfg, plan).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("fully-retried sweep's merged document differs from the sequential run")
+	}
+}
+
+// TestCoordinateGivesUpAfterRetries: a range that keeps dying must
+// fail the sweep after -retries re-issues, with the missing range in
+// the error.
+func TestCoordinateGivesUpAfterRetries(t *testing.T) {
+	cfg := exp.Config{Quick: true, Seed: 5}
+	g, _ := exp.GridDriverByID("A2")
+	ranges := exp.ShardRanges(g.Plan(cfg).NumCells(), 3)
+	kill := map[exp.CellRange]int{ranges[2]: 100} // tail worker always dies
+	err := coordinate(cfg, "A2", 3, 2, t.TempDir(), "", false, testWorker(t, cfg, "A2", kill))
+	if err == nil {
+		t.Fatal("coordinate succeeded despite a permanently failing range")
+	}
+	if !strings.Contains(err.Error(), "missing cell range") || !strings.Contains(err.Error(), "giving up") {
+		t.Errorf("error %q does not name the missing range and the exhausted retries", err)
+	}
+}
+
+// TestCoordinateAdjacentFailuresMergeIntoOneReissue: two adjacent
+// dead workers surface as a single missing range, which one re-issued
+// worker repairs.
+func TestCoordinateAdjacentFailuresMergeIntoOneReissue(t *testing.T) {
+	cfg := exp.Config{Quick: true, Seed: 5}
+	g, _ := exp.GridDriverByID("A2")
+	plan := g.Plan(cfg)
+	ranges := exp.ShardRanges(plan.NumCells(), 4)
+	kill := map[exp.CellRange]int{ranges[1]: 1, ranges[2]: 1}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "merged.json")
+	if err := coordinate(cfg, "A2", 4, 1, dir, jsonPath, false, testWorker(t, cfg, "A2", kill)); err != nil {
+		t.Fatalf("coordinate with two adjacent killed workers: %v", err)
+	}
+	got, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exp.RunMerged(cfg, plan).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("repaired sweep's merged document differs from the sequential run")
+	}
+}

@@ -34,6 +34,10 @@ func (p *GreedyMaxPPolicy) Assign(st *sched.State) sched.Assignment {
 	return a
 }
 
+// Memoizable marks the greedy baseline stationary: each machine's pick
+// depends only on the eligible set.
+func (p *GreedyMaxPPolicy) Memoizable() {}
+
 // RoundRobinPolicy spreads machines over the eligible jobs in rotating
 // order: machine i serves eligible job (i + step) mod k.
 type RoundRobinPolicy struct {
@@ -79,6 +83,10 @@ func (p *AllOnOnePolicy) Assign(st *sched.State) sched.Assignment {
 	}
 	return a
 }
+
+// Memoizable marks the gang baseline stationary: the target job is the
+// first eligible index, a pure function of the eligible set.
+func (p *AllOnOnePolicy) Memoizable() {}
 
 // RandomPolicy assigns each machine to a uniformly random eligible
 // job; the fully uncoordinated baseline.

@@ -89,6 +89,41 @@ func (lp *LearningPolicy) Assign(st *sched.State) sched.Assignment {
 	return MSMAlg(est, st.Eligible)
 }
 
+// FrozenLearningPolicy is a stationary snapshot of a learner: MSM-ALG
+// greedy over a fixed estimate matrix, with no optimism bonus and no
+// further posterior updates. Because it neither observes outcomes nor
+// reads the step counter, it is sched.Memoizable — the simulation
+// engine compiles it into a transition table and fans repetitions out
+// across workers, which is how trained learners are evaluated at
+// scale (the live learner must stay on the sequential generic engine).
+type FrozenLearningPolicy struct {
+	// Est carries the frozen posterior means in an instance shell.
+	Est *model.Instance
+}
+
+var _ sched.Memoizable = (*FrozenLearningPolicy)(nil)
+
+// Assign implements sched.Policy.
+func (p *FrozenLearningPolicy) Assign(st *sched.State) sched.Assignment {
+	return MSMAlg(p.Est, st.Eligible)
+}
+
+// Memoizable marks the snapshot stationary.
+func (p *FrozenLearningPolicy) Memoizable() {}
+
+// Frozen snapshots the learner's current posterior means into a
+// stationary policy. The snapshot is independent of the learner:
+// further training does not change it.
+func (lp *LearningPolicy) Frozen() *FrozenLearningPolicy {
+	est := model.New(lp.In.N, lp.In.M)
+	for i := 0; i < lp.In.M; i++ {
+		for j := 0; j < lp.In.N; j++ {
+			est.P[i][j] = lp.Estimate(i, j)
+		}
+	}
+	return &FrozenLearningPolicy{Est: est}
+}
+
 // Observe implements sched.OutcomeObserver: exact failure updates,
 // soft-credit success updates.
 func (lp *LearningPolicy) Observe(played sched.Assignment, completed []bool) {

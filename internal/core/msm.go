@@ -132,3 +132,9 @@ type AdaptivePolicy struct {
 func (p *AdaptivePolicy) Assign(st *sched.State) sched.Assignment {
 	return MSMAlg(p.In, st.Eligible)
 }
+
+// Memoizable marks SUU-I-ALG stationary: MSM-ALG is a deterministic
+// function of the eligible set, so the simulation engine may memoize
+// its assignment per unfinished-set key and run repetitions through
+// the compiled adaptive engine.
+func (p *AdaptivePolicy) Memoizable() {}

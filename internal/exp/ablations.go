@@ -6,7 +6,6 @@ import (
 
 	"suu/internal/core"
 	"suu/internal/sim"
-	"suu/internal/solve"
 	"suu/internal/workload"
 )
 
@@ -66,36 +65,45 @@ func A1(cfg Config) *Table {
 // A2 sweeps the replication factor σ of the schedule-replication step:
 // the paper's σ = 16⌈log₂ n⌉ guarantees whp completion inside the
 // prefix; smaller σ gives shorter schedules that lean on the tail.
+// The sweep is declared, not hand-rolled: one spec per σ carrying a
+// ParamOverrides, which makes A2 a shardable GridDriver like any
+// other grid table — every spec shares the same workload point, so
+// all factors are evaluated on the same generated instance with the
+// same simulation streams (paired comparison by construction).
 func A2(cfg Config) *Table {
+	g, _ := GridDriverByID("A2")
+	return runGridDriver(cfg, g)
+}
+
+// a2Factors is the σ sweep; plan and renderer share it.
+var a2Factors = []int{1, 2, 4, 8, 16}
+
+func a2Plan(cfg Config) GridPlan {
+	point := GridPoint{Scenario: "independent", Jobs: 16, Machines: 5}
+	plan := GridPlan{ID: "A2"}
+	for _, f := range a2Factors {
+		plan.Specs = append(plan.Specs, GridSpec{
+			Points:    []GridPoint{point},
+			Solvers:   []string{"lp-oblivious"},
+			Trials:    1,
+			Overrides: &ParamOverrides{ReplicationFactor: f},
+		})
+	}
+	return plan
+}
+
+func renderA2(cfg Config, results []GridResult) *Table {
 	t := &Table{
 		ID:         "A2",
 		Title:      "Ablation: replication factor σ sweep (independent jobs, LP schedule)",
 		PaperBound: "§4.1 uses σ = 16·log n for the 1−1/n² completion bound",
 		Header:     []string{"repl factor", "prefix len", "E[makespan]"},
 	}
-	factors := []int{1, 2, 4, 8, 16}
-	in := workload.Independent(workload.Config{Jobs: 16, Machines: 5, Seed: sim.SeedFor(cfg.Seed, "A2")})
-	type row struct {
-		prefix int
-		mean   float64
-		ok     bool
-	}
-	rows := runCells(cfg, len(factors), func(i int) row {
-		seed := sim.SeedFor(cfg.Seed, "A2", int64(factors[i]))
-		par := paramsWithSeed(sim.SeedFor(seed, "build"))
-		par.ReplicationFactor = factors[i]
-		lp, _ := solve.Get("lp-oblivious")
-		res, err := lp.Build(in, par)
-		if err != nil {
-			return row{}
+	for i, r := range results {
+		if r.Err != nil {
+			continue
 		}
-		mean := estimate(in, res.Policy, cfg.reps(), sim.SeedFor(seed, "sim"))
-		return row{prefix: res.PrefixLen, mean: mean, ok: true}
-	})
-	for i, r := range rows {
-		if r.ok {
-			t.Rows = append(t.Rows, []string{d(factors[i]), d(r.prefix), f2(r.mean)})
-		}
+		t.Rows = append(t.Rows, []string{d(a2Factors[i]), d(r.PrefixLen), f2(r.Mean)})
 	}
 	t.Notes = "Small σ is much shorter and the round-robin tail safely absorbs stragglers — the paper's constant is set for the worst case, not the average one."
 	return t

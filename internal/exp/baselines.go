@@ -5,43 +5,73 @@ package exp
 // management): who wins, by roughly what factor. The contenders are
 // not hand-picked: every registry solver applicable to the workload's
 // precedence class enters (except the exact DP, infeasible at these
-// sizes).
+// sizes). The table is a shardable GridDriver — the solver sweep is a
+// declared plan, so CI runs its cells as disjoint ranges — and each
+// row records which simulation engine estimated it: the stationary
+// policies (adaptive, greedy-maxp, all-on-one) run the compiled
+// transition-table engine when the instance's reachable state space
+// fits the budget.
 func T10(cfg Config) *Table {
-	t := &Table{
-		ID:         "T10",
-		Title:      "Schedulers head-to-head on the paper's motivating workloads",
-		PaperBound: "Section 1 motivation (no single theorem): coordinated schedules should beat naive ones",
-		Header:     []string{"workload", "solver", "construction", "E[makespan]", "vs best"},
-	}
-	type wl struct {
-		label string
-		point GridPoint
-		class string
-	}
-	workloads := []wl{
-		{"grid (out-tree, bimodal)", GridPoint{Scenario: "grid-pipeline", Jobs: 20, Machines: 6}, "out-forest"},
-		{"project (chains, specialists)", GridPoint{Scenario: "project-plan", Jobs: 10, Machines: 5}, "chains"},
-	}
-	for _, w := range workloads {
-		results := RunGrid(cfg, GridSpec{
+	g, _ := GridDriverByID("T10")
+	return runGridDriver(cfg, g)
+}
+
+// t10Workloads pairs each motivating workload with its display label;
+// plan and renderer share it so spec segments and row labels cannot
+// drift apart.
+var t10Workloads = []struct {
+	label string
+	point GridPoint
+	class string
+}{
+	{"grid (out-tree, bimodal)", GridPoint{Scenario: "grid-pipeline", Jobs: 20, Machines: 6}, "out-forest"},
+	{"project (chains, specialists)", GridPoint{Scenario: "project-plan", Jobs: 10, Machines: 5}, "chains"},
+}
+
+// t10Plan declares one spec per workload, because each workload
+// carries its own applicable-solver set.
+func t10Plan(cfg Config) GridPlan {
+	plan := GridPlan{ID: "T10"}
+	for _, w := range t10Workloads {
+		plan.Specs = append(plan.Specs, GridSpec{
 			Points:  []GridPoint{w.point},
 			Solvers: solverIDsFor(w.class, true),
 			Trials:  1,
 		})
+	}
+	return plan
+}
+
+// renderT10 aggregates per workload block: best mean first, then one
+// row per solver with its ratio to the best and the engine that
+// simulated it.
+func renderT10(cfg Config, results []GridResult) *Table {
+	t := &Table{
+		ID:         "T10",
+		Title:      "Schedulers head-to-head on the paper's motivating workloads",
+		PaperBound: "Section 1 motivation (no single theorem): coordinated schedules should beat naive ones",
+		Header:     []string{"workload", "solver", "construction", "engine", "E[makespan]", "vs best"},
+	}
+	off := 0
+	for i, seg := range specSegments(t10Plan(cfg)) {
+		block := results[off : off+seg]
+		off += seg
+		label := t10Workloads[i].label
 		best := -1.0
-		for _, r := range results {
+		for _, r := range block {
 			if r.Err == nil && r.Mean > 0 && (best < 0 || r.Mean < best) {
 				best = r.Mean
 			}
 		}
-		for _, r := range results {
+		for _, r := range block {
 			if r.Err != nil || r.Mean < 0 {
-				t.Rows = append(t.Rows, []string{w.label, r.Cell.Solver, r.Kind, "did not finish", "—"})
+				t.Rows = append(t.Rows, []string{label, r.Cell.Solver, r.Kind, r.Engine, "did not finish", "—"})
 				continue
 			}
-			t.Rows = append(t.Rows, []string{w.label, r.Cell.Solver, r.Kind, f2(r.Mean), f2(r.Mean / best)})
+			t.Rows = append(t.Rows, []string{label, r.Cell.Solver, r.Kind, r.Engine, f2(r.Mean), f2(r.Mean / best)})
 		}
 	}
-	t.Notes = "Adaptive coordination wins outright; among non-adaptive options the paper's oblivious schedule is the only one with a guarantee (the naive baselines are adaptive — they observe completions — yet uncoordinated ones still lose ground)."
+	t.Notes = "Adaptive coordination wins outright; among non-adaptive options the paper's oblivious schedule is the only one with a guarantee (the naive baselines are adaptive — they observe completions — yet uncoordinated ones still lose ground). " +
+		"The engine column shows which simulator ran the cell: compiled (event-wise oblivious), compiled-adaptive (memoized transition table), or generic (per-step policy calls)."
 	return t
 }

@@ -85,6 +85,30 @@ type GridHarnessBench struct {
 	Speedup        float64 `json:"speedup"`
 }
 
+// AdaptiveEngineBench is one row of the adaptive_engine section: the
+// compiled transition-table engine measured head to head against the
+// generic step engine on the same stationary policy — the number the
+// CI bench-smoke gate asserts stays ≥3x.
+type AdaptiveEngineBench struct {
+	Family   string `json:"family"`
+	Jobs     int    `json:"jobs"`
+	Machines int    `json:"machines"`
+	Policy   string `json:"policy"`
+	// States is the compiled table's reachable-state count;
+	// TableBuildMS the one-off compile cost amortized over the
+	// repetitions (already included in CompiledRepsPerSec).
+	States       int     `json:"states"`
+	TableBuildMS float64 `json:"table_build_ms"`
+	// CompiledRepsPerSec and GenericRepsPerSec are sequential
+	// single-worker throughputs, so the ratio isolates the engine —
+	// compiled policies additionally parallelize, generic adaptive
+	// estimation of observer policies cannot.
+	CompiledRepsPerSec float64 `json:"compiled_reps_per_sec"`
+	GenericRepsPerSec  float64 `json:"generic_reps_per_sec"`
+	Speedup            float64 `json:"speedup"`
+	Error              string  `json:"error,omitempty"`
+}
+
 // SimBenchFile is the BENCH_sim.json document.
 type SimBenchFile struct {
 	Generated string `json:"generated"`
@@ -103,6 +127,9 @@ type SimBenchFile struct {
 	// LPBench records the LP layer benchmarked in isolation
 	// (build+solve per family/size, sparse vs dense).
 	LPBench []LPBench `json:"lp_bench,omitempty"`
+	// AdaptiveEngine records the compiled-adaptive vs generic-step
+	// estimation throughput on stationary policies.
+	AdaptiveEngine []AdaptiveEngineBench `json:"adaptive_engine,omitempty"`
 	// Grid records the scenario-grid harness's cell throughput and
 	// parallel speedup.
 	Grid *GridHarnessBench `json:"grid_harness,omitempty"`
@@ -177,22 +204,18 @@ func SimBenchmarks(cfg Config) SimBenchFile {
 			file.Skipped = append(file.Skipped, fmt.Sprintf("%s: %v", bc.family, err))
 			continue
 		}
-		engine := "generic"
-		if sim.UsesCompiledEngine(in, pol) {
-			engine = "compiled"
-		}
 		caseReps := reps
-		if engine == "generic" {
+		if !sim.UsesCompiledEngine(in, pol) {
 			caseReps = reps / 4 // the step engine is the slow path; keep the suite quick
 		}
-		repsPerSec, nsPerStep, mean := measureEngine(in, pol, caseReps, cfg.Seed+43)
+		repsPerSec, nsPerStep, mean, eng := measureEngineInfo(in, pol, caseReps, cfg.Seed+43)
 		quants, _ := sim.MakespanQuantiles(in, pol, caseReps/2, 5_000_000, cfg.Seed+47, []float64{0.5, 0.99})
 		file.Benchmarks = append(file.Benchmarks, SimBench{
 			Family:       bc.family,
 			Jobs:         in.N,
 			Machines:     in.M,
 			Policy:       polName,
-			Engine:       engine,
+			Engine:       eng.Engine,
 			Reps:         caseReps,
 			RepsPerSec:   repsPerSec,
 			NsPerStep:    nsPerStep,
@@ -203,9 +226,74 @@ func SimBenchmarks(cfg Config) SimBenchFile {
 		})
 	}
 	file.SolverBuilds = SolverBuildBenchmarks(cfg)
+	file.AdaptiveEngine = AdaptiveEngineBenchmarks(cfg)
 	file.LPBench = LPBenchmarks(cfg)
 	file.Grid = GridHarnessBenchmark(cfg)
 	return file
+}
+
+// adaptiveEngineCases are the stationary-policy workloads the
+// adaptive_engine section measures: an independent instance whose
+// 2^12-state lattice sits inside the compile budget, and a chains
+// instance whose precedence collapses the state space to a product of
+// chain lengths.
+func adaptiveEngineCases(cfg Config) []struct {
+	family string
+	in     *model.Instance
+} {
+	seed := sim.SeedFor(cfg.Seed, "bench-adaptive")
+	return []struct {
+		family string
+		in     *model.Instance
+	}{
+		{"independent-12x4", workload.Independent(workload.Config{Jobs: 12, Machines: 4, Seed: seed})},
+		{"chains-20x5", workload.Chains(workload.Config{Jobs: 20, Machines: 5, Seed: seed}, 4)},
+	}
+}
+
+// AdaptiveEngineBenchmarks measures the compiled transition-table
+// engine against the generic step engine on the MSM greedy policy.
+// Both runs are sequential single-worker estimations with identical
+// per-rep streams, so only the engine differs; the generic run is
+// forced through a PolicyFunc wrapper, which strips the Memoizable
+// marker without touching the assignments.
+func AdaptiveEngineBenchmarks(cfg Config) []AdaptiveEngineBench {
+	compiledReps, genericReps := 4000, 1000
+	if cfg.Quick {
+		compiledReps, genericReps = 1000, 250
+	}
+	var out []AdaptiveEngineBench
+	for _, bc := range adaptiveEngineCases(cfg) {
+		pol := &core.AdaptivePolicy{In: bc.in}
+		row := AdaptiveEngineBench{
+			Family: bc.family, Jobs: bc.in.N, Machines: bc.in.M,
+			Policy: "adaptive (Thm 3.3)",
+		}
+		start := time.Now()
+		_, _, eng := sim.EstimateInfo(bc.in, pol, compiledReps, 5_000_000, cfg.Seed+53)
+		compiledSec := time.Since(start).Seconds()
+		if eng.Engine != sim.EngineCompiledAdaptive {
+			row.Error = fmt.Sprintf("expected compiled-adaptive engine, ran %s", eng.Engine)
+			out = append(out, row)
+			continue
+		}
+		row.States = eng.States
+		row.TableBuildMS = eng.TableBuildMS
+		start = time.Now()
+		sim.Estimate(bc.in, sched.PolicyFunc(pol.Assign), genericReps, 5_000_000, cfg.Seed+53)
+		genericSec := time.Since(start).Seconds()
+		if compiledSec > 0 {
+			row.CompiledRepsPerSec = float64(compiledReps) / compiledSec
+		}
+		if genericSec > 0 {
+			row.GenericRepsPerSec = float64(genericReps) / genericSec
+		}
+		if row.GenericRepsPerSec > 0 {
+			row.Speedup = row.CompiledRepsPerSec / row.GenericRepsPerSec
+		}
+		out = append(out, row)
+	}
+	return out
 }
 
 // SolverBuildBenchmarks times every registry solver's construction on

@@ -4,83 +4,113 @@ import (
 	"suu/internal/core"
 	"suu/internal/sim"
 	"suu/internal/stats"
-	"suu/internal/workload"
 )
 
 // A5 ablates the delay range: Theorem 4.4/4.7 draw chain delays from
 // [0, Π_max]; Theorem 4.8's tree analysis allows [0, Π_max/log n].
 // Narrower ranges give shorter delayed prefixes at (theoretically)
 // higher congestion; this table measures both effects on out-trees by
-// comparing the two SUUForest code paths end to end. It stays on the
-// raw core API deliberately — it reruns individual decomposition
-// blocks, which the registry does not expose.
+// comparing the two SUUForest code paths end to end. The log-div
+// variant is a standard grid cell (forest solver, estimated); the
+// full-range variant needs per-block reruns the registry does not
+// expose, so it registers the "a5-full" custom cell evaluator — which
+// is what makes A5 a shardable GridDriver despite its bespoke cells.
 func A5(cfg Config) *Table {
+	g, _ := GridDriverByID("A5")
+	return runGridDriver(cfg, g)
+}
+
+func init() {
+	cellEvals["a5-full"] = evalA5FullRange
+}
+
+// a5Sizes is the sweep; plan and renderer share it.
+func a5Sizes(cfg Config) [][2]int {
+	sizes := [][2]int{{12, 4}, {24, 6}, {48, 8}}
+	if cfg.Quick {
+		sizes = sizes[:2]
+	}
+	return sizes
+}
+
+// a5Plan declares two specs per size over the same out-tree point:
+// the shipping log-div path as plain cells, the full-range rebuild
+// through the custom evaluator. Identical points mean identical
+// instances and build seeds across the pair, so the comparison runs
+// on the very same decomposition blocks.
+func a5Plan(cfg Config) GridPlan {
+	plan := GridPlan{ID: "A5"}
+	trials := cfg.trials()
+	for _, nm := range a5Sizes(cfg) {
+		p := GridPoint{Scenario: "out-tree", Jobs: nm[0], Machines: nm[1]}
+		plan.Specs = append(plan.Specs,
+			GridSpec{Points: []GridPoint{p}, Solvers: []string{"forest"}, Trials: trials},
+			GridSpec{Points: []GridPoint{p}, Solvers: []string{"forest"}, Trials: trials, Eval: "a5-full"},
+		)
+	}
+	return plan
+}
+
+// evalA5FullRange rebuilds the cell's decomposition blocks through the
+// chains pipeline (Thm 4.4's full [0, Π_max] delay range) and reports
+// the summed prefix as PrefixLen with the forest run's lower bound —
+// the ratio renderA5 derives. Mean stays -1: the variant's makespan is
+// essentially its prefix length, which is the paper's comparison.
+// All randomness derives from the cell's coordinates, so the cell
+// shards like any other.
+func evalA5FullRange(cfg Config, c GridCell) GridResult {
+	in, seed, err := cellInstance(cfg, c)
+	if err != nil {
+		return GridResult{Cell: c, Err: err}
+	}
+	par := paramsWithSeed(sim.SeedFor(seed, c.Solver))
+	divRes, err := core.SUUForest(in, par)
+	if err != nil {
+		return GridResult{Cell: c, Class: in.Prec.Classify().String(), Err: err}
+	}
+	fullPrefix := 0
+	for _, blk := range divRes.Decomposition.Blocks {
+		br, err := core.SUUChainsOnBlock(in, blk.Chains, par)
+		if err != nil {
+			return GridResult{Cell: c, Class: in.Prec.Classify().String(), Err: err}
+		}
+		fullPrefix += br.Schedule.Len()
+	}
+	return GridResult{
+		Cell:       c,
+		Class:      in.Prec.Classify().String(),
+		Kind:       "forest blocks, full-range delays (Thm 4.4)",
+		Mean:       -1,
+		LowerBound: divRes.LowerBound,
+		PrefixLen:  fullPrefix,
+	}
+}
+
+// renderA5 pairs each size's (log-div, full-range) spec blocks and
+// aggregates trials, reproducing the pre-grid table shape.
+func renderA5(cfg Config, results []GridResult) *Table {
 	t := &Table{
 		ID:         "A5",
 		Title:      "Ablation: delay range [0,Πmax] (Thm 4.4/4.7) vs [0,Πmax/log n] (Thm 4.8)",
 		PaperBound: "Thm 4.8 trades congestion for shorter delayed prefixes on tree blocks",
 		Header:     []string{"n", "m", "full: prefix", "full: ratio", "log-div: prefix", "log-div: ratio"},
 	}
-	sizes := [][2]int{{12, 4}, {24, 6}, {48, 8}}
-	if cfg.Quick {
-		sizes = sizes[:2]
-	}
 	trials := cfg.trials()
-	type cell struct {
-		fullLen, divLen, fullR, divR float64
-		hasDivR                      bool
-		ok                           bool
-	}
-	cells := runSweep(cfg, len(sizes), trials, func(s, k int) cell {
-		n, m := sizes[s][0], sizes[s][1]
-		seed := sim.SeedFor(cfg.Seed, "A5", int64(n), int64(m), int64(k))
-		in := workload.OutTree(workload.Config{Jobs: n, Machines: m, Seed: seed})
-		// The rank decomposition triggers the log-divisor path; to get
-		// the full-range behaviour on identical blocks, rerun each
-		// block through the chains pipeline directly.
-		divRes, err := core.SUUForest(in, paramsWithSeed(sim.SeedFor(seed, "build")))
-		if err != nil {
-			return cell{}
-		}
-		dc := divRes.Decomposition
-		var fullPrefix int
-		for _, blk := range dc.Blocks {
-			br, err := core.SUUChainsOnBlock(in, blk.Chains, paramsWithSeed(sim.SeedFor(seed, "build")))
-			if err != nil {
-				return cell{}
-			}
-			fullPrefix += br.Schedule.Len()
-		}
-		lb := divRes.LowerBound
-		if lb <= 0 {
-			return cell{}
-		}
-		c := cell{
-			fullLen: float64(fullPrefix),
-			divLen:  float64(divRes.Schedule.Len()),
-			// Ratio for the full-range variant approximated by its prefix
-			// length over the lower bound (the makespan of these
-			// schedules is essentially the prefix length).
-			fullR: float64(fullPrefix) / lb,
-			ok:    true,
-		}
-		if mean := estimate(in, divRes.Schedule, cfg.reps(), sim.SeedFor(seed, "sim")); mean > 0 {
-			c.divR = mean / lb
-			c.hasDivR = true
-		}
-		return c
-	})
-	for s, nm := range sizes {
+	off := 0
+	for _, nm := range a5Sizes(cfg) {
+		div := results[off : off+trials]
+		full := results[off+trials : off+2*trials]
+		off += 2 * trials
 		var fullLen, divLen, fullR, divR []float64
-		for _, c := range cells[s] {
-			if !c.ok {
+		for k := 0; k < trials; k++ {
+			if div[k].Err != nil || full[k].Err != nil || div[k].LowerBound <= 0 || full[k].LowerBound <= 0 {
 				continue
 			}
-			fullLen = append(fullLen, c.fullLen)
-			divLen = append(divLen, c.divLen)
-			fullR = append(fullR, c.fullR)
-			if c.hasDivR {
-				divR = append(divR, c.divR)
+			fullLen = append(fullLen, float64(full[k].PrefixLen))
+			fullR = append(fullR, float64(full[k].PrefixLen)/full[k].LowerBound)
+			divLen = append(divLen, float64(div[k].PrefixLen))
+			if div[k].Mean > 0 {
+				divR = append(divR, div[k].Mean/div[k].LowerBound)
 			}
 		}
 		if len(divLen) == 0 || len(fullLen) == 0 {

@@ -96,13 +96,22 @@ func (t *Table) Markdown() string {
 // parallelism at cell granularity, each cell owns its policy (so
 // stateful policies like the random baseline and the learner are
 // race-free), and sim.Estimate is bit-identical to
-// sim.EstimateParallel by the engine's contract.
+// sim.EstimateParallel by the engine's contract. Stationary policies
+// transparently run on the compiled adaptive engine; estimateInfo
+// additionally reports which engine ran.
 func estimate(in *model.Instance, pol sched.Policy, reps int, seed int64) float64 {
-	sum, incomplete := sim.Estimate(in, pol, reps, 5_000_000, seed)
+	mean, _ := estimateInfo(in, pol, reps, seed)
+	return mean
+}
+
+// estimateInfo is estimate plus the engine record the grid rows
+// persist.
+func estimateInfo(in *model.Instance, pol sched.Policy, reps int, seed int64) (float64, sim.EngineUsed) {
+	sum, incomplete, eng := sim.EstimateInfo(in, pol, reps, 5_000_000, seed)
 	if incomplete > 0 {
-		return -1
+		return -1, eng
 	}
-	return sum.Mean
+	return sum.Mean, eng
 }
 
 // exactOrNaN returns the exact optimum when the instance is small

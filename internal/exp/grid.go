@@ -163,19 +163,69 @@ type GridPoint struct {
 	Arg int
 }
 
+// ParamOverrides adjusts construction parameters for every cell of a
+// spec — the declarative form of the ablation sweeps (A2's σ sweep is
+// one spec per ReplicationFactor). Zero values leave the paper's
+// defaults untouched. The struct is part of the shard fingerprint, so
+// two sweeps differing only in overrides can never splice.
+type ParamOverrides struct {
+	// ReplicationFactor overrides Params.ReplicationFactor when > 0.
+	ReplicationFactor int `json:"replication_factor,omitempty"`
+	// MassTarget overrides Params.MassTarget when > 0.
+	MassTarget float64 `json:"mass_target,omitempty"`
+	// DelayTries overrides Params.DelayTries when > 0.
+	DelayTries int `json:"delay_tries,omitempty"`
+	// Optimism overrides Params.Optimism when non-nil (0 is a
+	// meaningful setting — it disables the learner's exploration).
+	Optimism *float64 `json:"optimism,omitempty"`
+}
+
+// apply folds the overrides into par.
+func (o *ParamOverrides) apply(par *core.Params) {
+	if o == nil {
+		return
+	}
+	if o.ReplicationFactor > 0 {
+		par.ReplicationFactor = o.ReplicationFactor
+	}
+	if o.MassTarget > 0 {
+		par.MassTarget = o.MassTarget
+	}
+	if o.DelayTries > 0 {
+		par.DelayTries = o.DelayTries
+	}
+	if o.Optimism != nil {
+		par.Optimism = *o.Optimism
+	}
+}
+
 // GridSpec declares a scenario grid: the cross product of workload
-// points, solver registry ids, and trial indices.
+// points, solver registry ids, and trial indices, optionally with
+// per-spec parameter overrides and a custom cell evaluator.
 type GridSpec struct {
 	Points  []GridPoint
 	Solvers []string
 	Trials  int
+	// Overrides optionally adjusts core.Params for every cell of this
+	// spec. Nil means the defaults.
+	Overrides *ParamOverrides `json:"Overrides,omitempty"`
+	// Eval selects a registered custom cell evaluator ("" = the
+	// standard build-and-estimate path). Ablations whose cells need
+	// machinery the registry does not expose (A5's per-block reruns)
+	// register theirs in cellEvals; the name rides in the fingerprint,
+	// and every evaluator must derive all randomness from the cell's
+	// coordinates so sharding stays value-preserving.
+	Eval string `json:"Eval,omitempty"`
 }
 
-// GridCell is one cell of the cross product.
+// GridCell is one cell of the cross product. Cells carry their spec's
+// overrides and evaluator so they stay self-contained under sharding.
 type GridCell struct {
-	Point  GridPoint
-	Solver string
-	Trial  int
+	Point     GridPoint
+	Solver    string
+	Trial     int
+	Overrides *ParamOverrides `json:"Overrides,omitempty"`
+	Eval      string          `json:"Eval,omitempty"`
 }
 
 // NumCells returns len(s.Cells()) without materializing it. Every
@@ -200,7 +250,7 @@ func (s GridSpec) Cells() []GridCell {
 	for _, p := range s.Points {
 		for _, id := range s.Solvers {
 			for k := 0; k < trials; k++ {
-				cells = append(cells, GridCell{Point: p, Solver: id, Trial: k})
+				cells = append(cells, GridCell{Point: p, Solver: id, Trial: k, Overrides: s.Overrides, Eval: s.Eval})
 			}
 		}
 	}
@@ -217,6 +267,14 @@ type GridResult struct {
 	// step cap).
 	Mean       float64
 	LowerBound float64
+	// PrefixLen is the built schedule's oblivious prefix length (0 for
+	// adaptive policies); ablation renderers (A2, A5) read it.
+	PrefixLen int
+	// Engine records which simulation engine actually ran the cell's
+	// estimation (sim.EngineCompiled / EngineCompiledAdaptive /
+	// EngineGeneric, "" when nothing was simulated). Deterministic for
+	// the cell's coordinates, so it is merge payload, not provenance.
+	Engine string
 	// BuildTime is the construction's wall-clock cost (LP solve etc.),
 	// excluded from determinism comparisons.
 	BuildTime time.Duration
@@ -237,23 +295,46 @@ func pointSeed(root int64, p GridPoint, trial int) int64 {
 		int64(p.Jobs), int64(p.Machines), int64(p.Arg), int64(trial))
 }
 
+// cellEvals registers custom cell evaluators by the name GridSpec.Eval
+// selects. Every evaluator must be a pure function of (cfg, cell) —
+// all randomness derived from the cell's coordinates via sim.SeedFor —
+// so custom cells shard exactly like standard ones.
+var cellEvals = map[string]func(Config, GridCell) GridResult{}
+
+// cellInstance regenerates a cell's instance from its coordinates —
+// the shared front half of every evaluator.
+func cellInstance(cfg Config, c GridCell) (*model.Instance, int64, error) {
+	sc, ok := ScenarioByName(c.Point.Scenario)
+	if !ok {
+		return nil, 0, fmt.Errorf("exp: unknown scenario %q", c.Point.Scenario)
+	}
+	seed := pointSeed(cfg.Seed, c.Point, c.Trial)
+	return sc.Gen(workload.Config{Jobs: c.Point.Jobs, Machines: c.Point.Machines, Seed: seed}, c.Point.Arg), seed, nil
+}
+
 // EvalCell builds and simulates one cell. All randomness derives from
 // the cell's coordinates: instance generation and simulation from the
 // (point, trial) seed — identical across solvers, so comparisons are
 // paired — and construction randomness additionally from the solver
-// id.
+// id. Cells with a custom evaluator dispatch to it instead.
 func EvalCell(cfg Config, c GridCell) GridResult {
-	sc, ok := ScenarioByName(c.Point.Scenario)
-	if !ok {
-		return GridResult{Cell: c, Err: fmt.Errorf("exp: unknown scenario %q", c.Point.Scenario)}
+	if c.Eval != "" {
+		fn, ok := cellEvals[c.Eval]
+		if !ok {
+			return GridResult{Cell: c, Err: fmt.Errorf("exp: unknown cell evaluator %q", c.Eval)}
+		}
+		return fn(cfg, c)
 	}
 	sol, ok := solve.Get(c.Solver)
 	if !ok {
 		return GridResult{Cell: c, Err: fmt.Errorf("exp: unknown solver %q", c.Solver)}
 	}
-	seed := pointSeed(cfg.Seed, c.Point, c.Trial)
-	in := sc.Gen(workload.Config{Jobs: c.Point.Jobs, Machines: c.Point.Machines, Seed: seed}, c.Point.Arg)
+	in, seed, err := cellInstance(cfg, c)
+	if err != nil {
+		return GridResult{Cell: c, Err: err}
+	}
 	par := core.DefaultParams()
+	c.Overrides.apply(&par)
 	par.Seed = sim.SeedFor(seed, c.Solver)
 	start := time.Now()
 	res, err := sol.Build(in, par)
@@ -261,13 +342,15 @@ func EvalCell(cfg Config, c GridCell) GridResult {
 	if err != nil {
 		return GridResult{Cell: c, Class: in.Prec.Classify().String(), BuildTime: bt, Err: err}
 	}
-	mean := estimate(in, res.Policy, cfg.reps(), sim.SeedFor(seed, "sim"))
+	mean, eng := estimateInfo(in, res.Policy, cfg.reps(), sim.SeedFor(seed, "sim"))
 	return GridResult{
 		Cell:       c,
 		Class:      in.Prec.Classify().String(),
 		Kind:       res.Kind,
 		Mean:       mean,
 		LowerBound: res.LowerBound,
+		PrefixLen:  res.PrefixLen,
+		Engine:     eng.Engine,
 		BuildTime:  bt,
 		LPPivots:   res.LPPivots,
 	}

@@ -219,6 +219,37 @@ func TestGridComparisonsArePaired(t *testing.T) {
 	}
 }
 
+// TestEvalCellHonorsOverridesAndRecordsEngine covers the two grid
+// extensions: per-spec parameter overrides reach the construction (σ=1
+// vs σ=4 quadruples the replicated prefix), and every evaluated cell
+// records which simulation engine ran it.
+func TestEvalCellHonorsOverridesAndRecordsEngine(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 11, Workers: 1}
+	point := GridPoint{Scenario: "independent", Jobs: 8, Machines: 3}
+	sigma1 := EvalCell(cfg, GridCell{Point: point, Solver: "lp-oblivious", Overrides: &ParamOverrides{ReplicationFactor: 1}})
+	sigma4 := EvalCell(cfg, GridCell{Point: point, Solver: "lp-oblivious", Overrides: &ParamOverrides{ReplicationFactor: 4}})
+	if sigma1.Err != nil || sigma4.Err != nil {
+		t.Fatalf("cells errored: %v / %v", sigma1.Err, sigma4.Err)
+	}
+	if sigma4.PrefixLen != 4*sigma1.PrefixLen || sigma1.PrefixLen == 0 {
+		t.Errorf("override ignored: σ=1 prefix %d, σ=4 prefix %d", sigma1.PrefixLen, sigma4.PrefixLen)
+	}
+	if sigma1.Engine != sim.EngineCompiled {
+		t.Errorf("oblivious cell engine %q, want %q", sigma1.Engine, sim.EngineCompiled)
+	}
+	adaptive := EvalCell(cfg, GridCell{Point: point, Solver: "adaptive"})
+	if adaptive.Engine != sim.EngineCompiledAdaptive {
+		t.Errorf("adaptive cell engine %q, want %q (8 jobs fit the compile budget)", adaptive.Engine, sim.EngineCompiledAdaptive)
+	}
+	learning := EvalCell(cfg, GridCell{Point: point, Solver: "learning"})
+	if learning.Engine != sim.EngineGeneric {
+		t.Errorf("learning cell engine %q, want %q", learning.Engine, sim.EngineGeneric)
+	}
+	if r := EvalCell(cfg, GridCell{Point: point, Solver: "forest", Eval: "nope"}); r.Err == nil {
+		t.Error("unknown cell evaluator not reported")
+	}
+}
+
 func TestSolverIDsForClassFiltering(t *testing.T) {
 	ind := solverIDsFor("independent", true)
 	if fmt.Sprint(ind) != fmt.Sprint([]string{"lp-oblivious", "chains", "forest", "comb-oblivious", "adaptive", "learning", "greedy-maxp", "round-robin", "all-on-one", "random"}) {

@@ -21,10 +21,16 @@ type GridDriver struct {
 
 // GridDrivers lists the shardable tables. Drivers in all.go run these
 // through runGridDriver, so the sequential path and the shard path
-// share one plan and one renderer by construction.
+// share one plan and one renderer by construction. T10 is the solver
+// sweep, A2 a declarative parameter ablation (per-spec overrides), A5
+// an ablation with a custom cell evaluator — together they cover the
+// three ways a table becomes shardable.
 var GridDrivers = []GridDriver{
 	{ID: "T13", Plan: t13Plan, Render: renderT13},
 	{ID: "T14", Plan: t14Plan, Render: renderT14},
+	{ID: "T10", Plan: t10Plan, Render: renderT10},
+	{ID: "A2", Plan: a2Plan, Render: renderA2},
+	{ID: "A5", Plan: a5Plan, Render: renderA5},
 }
 
 // GridDriverByID resolves a shardable table by id, case-insensitively.

@@ -70,13 +70,21 @@ func T12(cfg Config) *Table {
 // second, nanoseconds per simulated step (normalized by the mean
 // realized makespan), and the mean makespan itself.
 func measureEngine(in *model.Instance, pol sched.Policy, reps int, seed int64) (repsPerSec, nsPerStep, meanMakespan float64) {
+	repsPerSec, nsPerStep, meanMakespan, _ = measureEngineInfo(in, pol, reps, seed)
+	return repsPerSec, nsPerStep, meanMakespan
+}
+
+// measureEngineInfo is measureEngine plus the EngineUsed record of the
+// measured run, so perf rows report the engine that actually produced
+// the number instead of re-deriving the dispatch decision.
+func measureEngineInfo(in *model.Instance, pol sched.Policy, reps int, seed int64) (repsPerSec, nsPerStep, meanMakespan float64, eng sim.EngineUsed) {
 	start := time.Now()
-	sum, _ := sim.EstimateParallel(in, pol, reps, 5_000_000, seed, 0)
+	sum, _, info := sim.EstimateParallelInfo(in, pol, reps, 5_000_000, seed, 0)
 	elapsed := time.Since(start)
 	repsPerSec = float64(reps) / elapsed.Seconds()
 	totalSteps := sum.Mean * float64(reps)
 	if totalSteps > 0 {
 		nsPerStep = float64(elapsed.Nanoseconds()) / totalSteps
 	}
-	return repsPerSec, nsPerStep, sum.Mean
+	return repsPerSec, nsPerStep, sum.Mean, info
 }

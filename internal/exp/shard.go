@@ -28,8 +28,10 @@ import (
 
 // ShardSchemaVersion versions the shard envelope. Merge refuses to
 // mix versions: a coordinator must never splice rows produced under a
-// different payload contract.
-const ShardSchemaVersion = 1
+// different payload contract. Version 2 added the engine and
+// prefix_len payload columns (and cells may carry param overrides and
+// custom evaluators).
+const ShardSchemaVersion = 2
 
 // CellRange is a half-open slice [Lo:Hi) of a plan's Cells() order.
 type CellRange struct {
@@ -222,8 +224,16 @@ type CellRow struct {
 	Kind       string  `json:"kind,omitempty"`
 	Mean       float64 `json:"mean"`
 	LowerBound float64 `json:"lower_bound"`
-	LPPivots   int     `json:"lp_pivots,omitempty"`
-	Err        string  `json:"err,omitempty"`
+	// PrefixLen is the built schedule's oblivious prefix length (0 for
+	// adaptive policies).
+	PrefixLen int `json:"prefix_len,omitempty"`
+	// Engine names the simulation engine that actually ran the cell —
+	// deterministic for the cell's coordinates, hence payload: a
+	// sharded run must agree with the sequential one about which
+	// engine every cell used.
+	Engine   string `json:"engine,omitempty"`
+	LPPivots int    `json:"lp_pivots,omitempty"`
+	Err      string `json:"err,omitempty"`
 }
 
 // ShardCell is one envelope entry: the deterministic row plus the
@@ -279,6 +289,8 @@ func rowFromResult(cfg Config, index int, r GridResult) CellRow {
 		Kind:       r.Kind,
 		Mean:       r.Mean,
 		LowerBound: r.LowerBound,
+		PrefixLen:  r.PrefixLen,
+		Engine:     r.Engine,
 		LPPivots:   r.LPPivots,
 	}
 	if r.Err != nil {
@@ -306,6 +318,8 @@ func resultFromRow(row CellRow, buildMS float64) GridResult {
 		Kind:       row.Kind,
 		Mean:       row.Mean,
 		LowerBound: row.LowerBound,
+		PrefixLen:  row.PrefixLen,
+		Engine:     row.Engine,
 		BuildTime:  time.Duration(buildMS * float64(time.Millisecond)),
 		LPPivots:   row.LPPivots,
 	}
@@ -340,13 +354,28 @@ func RunShard(cfg Config, s ShardSpec) *ShardFile {
 	return f
 }
 
+// MissingRangeError reports a gap in a shard tiling: no envelope
+// covers cells [Range.Lo:Range.Hi). It is the one Merge failure a
+// coordinator can repair without human eyes — the range is exactly
+// what to re-issue to a fresh worker (cmd/suu-grid -retries does).
+// Detect it with errors.As.
+type MissingRangeError struct {
+	Range CellRange
+}
+
+func (e *MissingRangeError) Error() string {
+	return fmt.Sprintf("exp: missing cell range [%d:%d): no shard covers it", e.Range.Lo, e.Range.Hi)
+}
+
 // Merge validates a set of shard envelopes and reassembles the
 // canonical whole-sweep document. It fails loudly on every way a
 // distributed run can silently lie: mixed schema versions or
 // fingerprints (shards cut from different sweeps), overlapping ranges
 // or duplicated cells (a row computed twice — which one wins?), gaps
-// or missing tail (a worker lost), and rows whose index or coordinate
-// sits outside their declared range. Shard order does not matter.
+// or missing tail (a worker lost — reported as *MissingRangeError so
+// a coordinator can re-issue exactly the lost cells), and rows whose
+// index or coordinate sits outside their declared range. Shard order
+// does not matter.
 func Merge(shards []*ShardFile) (*MergedGrid, error) {
 	if len(shards) == 0 {
 		return nil, errors.New("exp: merge of zero shards")
@@ -396,7 +425,7 @@ func Merge(shards []*ShardFile) (*MergedGrid, error) {
 			return nil, fmt.Errorf("exp: overlapping shards: cells [%d:%d) delivered twice", s.Range.Lo, min(next, s.Range.Hi))
 		}
 		if s.Range.Lo > next {
-			return nil, fmt.Errorf("exp: missing cell range [%d:%d): no shard covers it", next, s.Range.Lo)
+			return nil, &MissingRangeError{Range: CellRange{Lo: next, Hi: s.Range.Lo}}
 		}
 		for i, c := range s.Cells {
 			if c.Index != s.Range.Lo+i {
@@ -408,7 +437,7 @@ func Merge(shards []*ShardFile) (*MergedGrid, error) {
 		next = s.Range.Hi
 	}
 	if next != m.TotalCells {
-		return nil, fmt.Errorf("exp: missing cell range [%d:%d): no shard covers it", next, m.TotalCells)
+		return nil, &MissingRangeError{Range: CellRange{Lo: next, Hi: m.TotalCells}}
 	}
 	return m, nil
 }

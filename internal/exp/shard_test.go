@@ -287,13 +287,14 @@ func requireShardedBytesIdentical(t *testing.T, cfg Config, plan GridPlan, want 
 	}
 }
 
-// TestShardMergeByteIdenticalT14AndT13 is the acceptance bar: for T14
-// and T13 (a full exp.All table), merging N ∈ {2, 3, 8} shard outputs
-// reproduces the single-process canonical JSON byte for byte. N=8 on
-// T14's 3 cells additionally exercises empty shards. The CI
-// shard→merge job enforces the same equality across real OS
-// processes.
-func TestShardMergeByteIdenticalT14AndT13(t *testing.T) {
+// TestShardMergeByteIdenticalAllGridDrivers is the acceptance bar:
+// for every shardable table — T13, T14, the T10 solver sweep, and the
+// A2/A5 ablation grids (override- and custom-evaluator cells
+// included) — merging N ∈ {2, 3, 8} shard outputs reproduces the
+// single-process canonical JSON byte for byte. N=8 on T14's 3 cells
+// additionally exercises empty shards. The CI shard→merge job
+// enforces the same equality across real OS processes.
+func TestShardMergeByteIdenticalAllGridDrivers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping Monte Carlo shard/merge sweep in -short mode")
 	}

@@ -76,6 +76,23 @@ type OutcomeObserver interface {
 	Observe(played Assignment, completed []bool)
 }
 
+// Memoizable marks stationary policies (Definition 2.2): Assign must
+// be a pure function of the unfinished set — the same
+// Unfinished/Eligible always yields the same assignment, independent
+// of Step, call order, or any prior call. The simulation engine
+// compiles such policies into per-state transition tables (one
+// memoized assignment digest per reachable unfinished-set key) and
+// runs repetitions as table-driven walks that are bit-identical to
+// the generic step engine; see sim's compiled adaptive engine. A
+// policy must not implement both Memoizable and OutcomeObserver —
+// observation feedback is execution history, which a stationary
+// assignment by definition cannot depend on.
+type Memoizable interface {
+	Policy
+	// Memoizable is a marker; implementations do nothing.
+	Memoizable()
+}
+
 // Tail generates assignments for steps beyond an oblivious prefix.
 type Tail interface {
 	// TailAssign returns the assignment for the k-th step after the
@@ -233,6 +250,11 @@ func (r *Regimen) Assign(st *State) Assignment {
 	r.idleOnce.Do(func() { r.idle = NewIdle(r.M) })
 	return r.idle
 }
+
+// Memoizable marks the regimen stationary: its assignment is keyed on
+// the unfinished mask alone, which is Definition 2.2 verbatim. Callers
+// must not mutate F while simulations run.
+func (r *Regimen) Memoizable() {}
 
 // MassPerJob returns, for each job, the total (uncapped) mass
 // accumulated over the prefix of the oblivious schedule: Σ_t p[i][j]

@@ -12,8 +12,9 @@ import (
 // across workers. Policies that implement sched.OutcomeObserver carry
 // mutable per-run state fed back by the simulator, so their
 // repetitions must run sequentially; everything else (oblivious
-// schedules, regimens, stateless adaptive policies) is safe to share
-// read-only across workers.
+// schedules, regimens, stationary adaptive policies — including every
+// sched.Memoizable policy the compiled adaptive engine accepts) is
+// safe to share read-only across workers.
 func Parallelizable(pol sched.Policy) bool {
 	_, observes := pol.(sched.OutcomeObserver)
 	return !observes
@@ -30,14 +31,25 @@ func Parallelizable(pol sched.Policy) bool {
 // Parallelizable(pol); when it is false (the policy observes
 // outcomes), EstimateParallel IGNORES the concurrency argument and
 // falls back to the sequential path — identical results, no fan-out.
-// Call Parallelizable first when the silent loss of parallelism
-// matters. concurrency <= 0 selects GOMAXPROCS.
+// That decision used to be invisible; EstimateParallelInfo returns it
+// as EngineUsed.Workers == 1, and harnesses that persist results
+// should call that form. concurrency <= 0 selects GOMAXPROCS.
 func EstimateParallel(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int64, concurrency int) (stats.Summary, int) {
+	sum, inc, _ := EstimateParallelInfo(in, pol, reps, maxSteps, seed, concurrency)
+	return sum, inc
+}
+
+// EstimateParallelInfo is EstimateParallel plus the EngineUsed record:
+// which engine ran the repetitions and the effective worker count
+// after the parallelizability check — 1 when an observer policy
+// silently degraded the requested fan-out to sequential, which is how
+// grid rows and BENCH_sim.json record the engine that actually ran.
+func EstimateParallelInfo(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int64, concurrency int) (stats.Summary, int, EngineUsed) {
 	if reps <= 0 {
 		panic("sim: reps must be positive")
 	}
 	if !Parallelizable(pol) || concurrency == 1 {
-		return Estimate(in, pol, reps, maxSteps, seed)
+		return estimateChunked(in, pol, reps, maxSteps, seed, 1)
 	}
 	if concurrency <= 0 {
 		concurrency = runtime.GOMAXPROCS(0)

@@ -18,7 +18,7 @@ func MakespanQuantiles(in *model.Instance, pol sched.Policy, reps, maxSteps int,
 	if reps <= 0 {
 		panic("sim: reps must be positive")
 	}
-	est := newEstimator(in, pol)
+	est := newEstimator(in, pol, reps)
 	w := est.newWorker()
 	var rng Stream
 	xs := make([]float64, reps)

@@ -6,14 +6,19 @@
 //
 // # Engine architecture
 //
-// Two engines share one semantics. The generic step engine (runState)
-// advances one step at a time, asking the policy for an assignment
-// and drawing one uniform per (eligible, assigned) job per step; all
-// per-run buffers live in a reusable runState, so the step loop is
-// allocation-free. When the policy is a *sched.Oblivious, the
+// Three engines share one semantics. The generic step engine
+// (runState) advances one step at a time, asking the policy for an
+// assignment and drawing one uniform per (eligible, assigned) job per
+// step; all per-run buffers live in a reusable runState, so the step
+// loop is allocation-free. When the policy is a *sched.Oblivious, the
 // estimators compile its prefix once into per-job occurrence lists
 // and replay repetitions event-wise (see oblivious.go), falling back
 // to the step engine for any repetition that outlives the prefix.
+// When the policy is stationary (sched.Memoizable) and its reachable
+// state space fits the compile budget, the estimators memoize one
+// assignment digest per unfinished-set key and replay repetitions as
+// table-driven walks (see adaptive.go), falling back transparently to
+// the step engine otherwise; EstimateInfo reports which engine ran.
 //
 // Estimators derive repetition r's RNG stream from (seed, r) with a
 // SplitMix64 reseed (see rng.go) and aggregate makespans into
@@ -26,6 +31,7 @@ package sim
 
 import (
 	"math/rand"
+	"time"
 
 	"suu/internal/model"
 	"suu/internal/sched"
@@ -68,14 +74,47 @@ func (r *Runner) run(maxSteps int, rng Rand) (int, bool) { return r.Run(maxSteps
 
 func (r *Runner) massView() []float64 { return r.rs.mass }
 
+// Engine names for EngineUsed.Engine. The compiled oblivious engine
+// keeps the short name "compiled" that BENCH_sim.json has carried
+// since the engine landed.
+const (
+	EngineGeneric          = "generic"
+	EngineCompiled         = "compiled"
+	EngineCompiledAdaptive = "compiled-adaptive"
+)
+
+// EngineUsed reports which engine an estimation call actually ran —
+// the record satellite harnesses (grid rows, BENCH_sim.json) persist
+// so a silent fallback to the slow path is visible in the output, not
+// just in wall-clock time.
+type EngineUsed struct {
+	// Engine is EngineCompiled (event-wise oblivious), the
+	// EngineCompiledAdaptive transition-table walk, or EngineGeneric.
+	Engine string
+	// Workers is the effective fan-out after the parallelizability
+	// check (1 = sequential, also for observer policies that silently
+	// lose their requested concurrency).
+	Workers int
+	// States is the compiled adaptive table's state count (0 for the
+	// other engines). Deterministic for a given (instance, policy).
+	States int
+	// TableBuildMS is the adaptive table's compile wall-clock for this
+	// call — provenance for perf records, never merge payload.
+	TableBuildMS float64
+}
+
 // estimator selects and shares the engine for one estimation call:
-// the compiled event engine for oblivious policies, the generic step
-// engine otherwise. The compiled form is immutable and shared by all
+// the compiled event engine for oblivious policies, the compiled
+// transition-table engine for stationary (sched.Memoizable) adaptive
+// policies within the state budget, the generic step engine
+// otherwise. The compiled forms are immutable and shared by all
 // workers; each worker gets its own mutable runner.
 type estimator struct {
 	in       *model.Instance
 	pol      sched.Policy
 	compiled *compiledOblivious
+	adaptive *compiledAdaptive
+	engine   EngineUsed
 }
 
 // UsesCompiledEngine reports whether the estimators will run pol on
@@ -83,7 +122,8 @@ type estimator struct {
 // engine: an oblivious schedule with a non-empty prefix, no outcome
 // observation, and an acyclic instance. Exported so reporting code
 // (BENCH_sim.json) attributes measurements to the engine that
-// actually ran.
+// actually ran; for the full decision including the compiled adaptive
+// engine use the EngineUsed value returned by EstimateInfo.
 func UsesCompiledEngine(in *model.Instance, pol sched.Policy) bool {
 	o, ok := pol.(*sched.Oblivious)
 	if !ok || len(o.Steps) == 0 || !Parallelizable(pol) {
@@ -93,14 +133,38 @@ func UsesCompiledEngine(in *model.Instance, pol sched.Policy) bool {
 	return err == nil
 }
 
-func newEstimator(in *model.Instance, pol sched.Policy) *estimator {
-	e := &estimator{in: in, pol: pol}
+// newEstimator selects the engine for one estimation call of `reps`
+// repetitions. The repetition count bounds the adaptive compile: a
+// state costs about one policy call to memoize, the same as one step
+// of the generic engine, so a table bigger than 64× the repetitions
+// could never amortize — the BFS is capped there, which also bounds
+// the wasted walk on instances whose reachable space would exhaust
+// the full budget anyway.
+func newEstimator(in *model.Instance, pol sched.Policy, reps int) *estimator {
+	e := &estimator{in: in, pol: pol, engine: EngineUsed{Engine: EngineGeneric}}
 	// Resolve the flat backing once, on this goroutine: workers read
 	// it concurrently via newRunState, and Instance.Flat rebuilds
 	// lazily when the rows were replaced wholesale.
 	in.Flat()
 	if UsesCompiledEngine(in, pol) {
 		e.compiled = compileOblivious(in, pol.(*sched.Oblivious))
+		if e.compiled != nil {
+			e.engine.Engine = EngineCompiled
+		}
+		return e
+	}
+	if mpol, ok := pol.(sched.Memoizable); ok {
+		budget := adaptiveCompileBudget
+		if reps < budget/64 {
+			budget = 64 * reps
+		}
+		start := time.Now()
+		e.adaptive = compileAdaptive(in, mpol, budget)
+		if e.adaptive != nil {
+			e.engine.Engine = EngineCompiledAdaptive
+			e.engine.States = len(e.adaptive.states)
+			e.engine.TableBuildMS = float64(time.Since(start).Nanoseconds()) / 1e6
+		}
 	}
 	return e
 }
@@ -108,6 +172,9 @@ func newEstimator(in *model.Instance, pol sched.Policy) *estimator {
 func (e *estimator) newWorker() repRunner {
 	if e.compiled != nil {
 		return e.compiled.newRunner()
+	}
+	if e.adaptive != nil {
+		return e.adaptive.newRunner()
 	}
 	return NewRunner(e.in, e.pol)
 }
@@ -123,11 +190,11 @@ const estimateChunk = 256
 // accumulator r/estimateChunk regardless of which worker ran it, and
 // chunks merge in index order, so the result is bit-identical for
 // every worker count.
-func estimateChunked(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int64, workers int) (stats.Summary, int) {
+func estimateChunked(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int64, workers int) (stats.Summary, int, EngineUsed) {
 	if reps <= 0 {
 		panic("sim: reps must be positive")
 	}
-	est := newEstimator(in, pol)
+	est := newEstimator(in, pol, reps)
 	nchunks := (reps + estimateChunk - 1) / estimateChunk
 	accs := make([]stats.Accumulator, nchunks)
 	incs := make([]int, nchunks)
@@ -182,7 +249,12 @@ func estimateChunked(in *model.Instance, pol sched.Policy, reps, maxSteps int, s
 		total.Merge(accs[c])
 		incomplete += incs[c]
 	}
-	return total.Summary(), incomplete
+	eng := est.engine
+	if workers < 1 {
+		workers = 1
+	}
+	eng.Workers = workers
+	return total.Summary(), incomplete, eng
 }
 
 // Estimate runs reps independent executions (repetition r's RNG
@@ -191,6 +263,16 @@ func estimateChunked(in *model.Instance, pol sched.Policy, reps, maxSteps int, s
 // hit the step cap without completing. Aggregation is streaming: the
 // full sample is never materialized.
 func Estimate(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int64) (stats.Summary, int) {
+	sum, inc, _ := estimateChunked(in, pol, reps, maxSteps, seed, 1)
+	return sum, inc
+}
+
+// EstimateInfo is Estimate plus the EngineUsed record — which engine
+// actually ran (compiled oblivious, compiled adaptive with its state
+// count and table build time, or the generic step engine). Harness
+// code that persists results should prefer this form so a fallback to
+// the slow path is recorded, not inferred.
+func EstimateInfo(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int64) (stats.Summary, int, EngineUsed) {
 	return estimateChunked(in, pol, reps, maxSteps, seed, 1)
 }
 
@@ -204,7 +286,7 @@ const massSeedSalt = 0x6D617373 // "mass"
 // empirically.
 func MassWithinHorizon(in *model.Instance, pol sched.Policy, horizon, reps int, threshold float64, seed int64) []float64 {
 	counts := make([]float64, in.N)
-	est := newEstimator(in, pol)
+	est := newEstimator(in, pol, reps)
 	w := est.newWorker()
 	var rng Stream
 	for r := 0; r < reps; r++ {

@@ -18,8 +18,13 @@ type runState struct {
 	predsLeft  []int
 	mass       []float64
 	fail       []float64
-	touched    []int
-	remaining  int
+	// seen marks jobs already appended to touched this step (cleared
+	// alongside fail in the draw loop). A separate marker, not
+	// fail[j]==0: a p_ij of exactly 1 drives the fail product to zero
+	// and must not re-enroll the job.
+	seen      []bool
+	touched   []int
+	remaining int
 
 	st sched.State
 
@@ -40,6 +45,7 @@ func newRunState(in *model.Instance, pol sched.Policy) *runState {
 		predsLeft:  make([]int, in.N),
 		mass:       make([]float64, in.N),
 		fail:       make([]float64, in.N),
+		seen:       make([]bool, in.N),
 		touched:    make([]int, 0, in.M),
 	}
 	rs.st = sched.State{Unfinished: rs.unfinished, Eligible: rs.eligible}
@@ -94,7 +100,8 @@ func (rs *runState) runFrom(pol sched.Policy, t0, maxSteps int, rng Rand) (int, 
 			if rs.observer != nil {
 				rs.effective[i] = j
 			}
-			if fail[j] == 0 {
+			if !rs.seen[j] {
+				rs.seen[j] = true
 				fail[j] = 1
 				rs.touched = append(rs.touched, j)
 			}
@@ -118,6 +125,7 @@ func (rs *runState) runFrom(pol sched.Policy, t0, maxSteps int, rng Rand) (int, 
 				}
 			}
 			fail[j] = 0
+			rs.seen[j] = false
 		}
 		if rs.observer != nil {
 			rs.observer.Observe(rs.effective, rs.completed)

@@ -64,15 +64,22 @@ func init() {
 		Guarantee:      "O(log n) for independent jobs",
 		Classes:        nil, // greedy MSM is feasible (heuristic) on any dag
 		Parallelizable: true,
-		Build:          buildAdaptive,
+		// MSM-ALG is a pure function of the eligible set, so the engine
+		// memoizes its assignment per unfinished-set key.
+		Compilable: true,
+		Build:      buildAdaptive,
 	})
 	Register(Solver{
 		ID:        "learning",
 		Guarantee: "none (beyond the paper; Beta-Bernoulli posterior + MSM greedy)",
 		Classes:   nil,
 		// The learner observes outcomes (sched.OutcomeObserver), so its
-		// repetitions must run sequentially.
+		// repetitions must run sequentially — and its assignments depend
+		// on that observation history, so it is NOT compilable: a frozen
+		// posterior snapshot (LearningPolicy.Frozen) is the stationary,
+		// compilable form for evaluating a trained learner.
 		Parallelizable: false,
+		Compilable:     false,
 		Build:          buildLearning,
 	})
 	Register(Solver{
@@ -81,7 +88,9 @@ func init() {
 		Guarantee:      "exact (small instances only)",
 		Classes:        nil,
 		Parallelizable: true,
-		Build:          buildOptimal,
+		// The optimal policy is a regimen — stationary by definition.
+		Compilable: true,
+		Build:      buildOptimal,
 	})
 	Register(Solver{
 		ID:             "greedy-maxp",
@@ -89,14 +98,17 @@ func init() {
 		Guarantee:      "none (baseline)",
 		Baseline:       true,
 		Parallelizable: true,
+		Compilable:     true,
 		Build: func(in *model.Instance, par core.Params) (*Result, error) {
 			return baselineResult("greedy-maxp", &core.GreedyMaxPPolicy{In: in}), nil
 		},
 	})
 	Register(Solver{
-		ID:             "round-robin",
-		Guarantee:      "none (baseline)",
-		Baseline:       true,
+		ID:        "round-robin",
+		Guarantee: "none (baseline)",
+		Baseline:  true,
+		// Rotates with the step counter: parallel-safe but not
+		// stationary, so never compiled.
 		Parallelizable: true,
 		Build: func(in *model.Instance, par core.Params) (*Result, error) {
 			return baselineResult("round-robin", &core.RoundRobinPolicy{In: in}), nil
@@ -107,6 +119,7 @@ func init() {
 		Guarantee:      "none (baseline)",
 		Baseline:       true,
 		Parallelizable: true,
+		Compilable:     true,
 		Build: func(in *model.Instance, par core.Params) (*Result, error) {
 			return baselineResult("all-on-one", &core.AllOnOnePolicy{In: in}), nil
 		},

@@ -6,6 +6,7 @@ import (
 
 	"suu/internal/core"
 	"suu/internal/dag"
+	"suu/internal/sched"
 	"suu/internal/sim"
 	"suu/internal/workload"
 )
@@ -64,6 +65,41 @@ func TestParallelizableConsistentWithEngine(t *testing.T) {
 		if s.Parallelizable && !sim.Parallelizable(res.Policy) {
 			t.Errorf("%s: registry says parallelizable but the engine would serialize it", s.ID)
 		}
+	}
+}
+
+// TestCompilableConsistentWithPolicyInterfaces pins the Compilable
+// flag to the built policy's actual interface set: Compilable solvers
+// must build sched.Memoizable policies (so the compiled adaptive
+// engine accepts them), non-Compilable solvers must not — a solver
+// that silently gains or loses stationarity must update its metadata,
+// not drift.
+func TestCompilableConsistentWithPolicyInterfaces(t *testing.T) {
+	small := workload.Independent(workload.Config{Jobs: 4, Machines: 2, Seed: 3})
+	for _, s := range All() {
+		in := small
+		if !s.AppliesTo(dag.ClassIndependent) {
+			in = workload.Chains(workload.Config{Jobs: 6, Machines: 2, Seed: 3}, 2)
+		}
+		res, err := s.Build(in, par(5))
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		_, memoizable := res.Policy.(sched.Memoizable)
+		if memoizable != s.Compilable {
+			t.Errorf("%s: Compilable=%v but built policy memoizable=%v", s.ID, s.Compilable, memoizable)
+		}
+		if s.Compilable && !s.Parallelizable {
+			t.Errorf("%s: compilable policies are immutable tables and must be parallelizable", s.ID)
+		}
+	}
+	// The adaptive and learning entries are the tentpole's showcase:
+	// the MSM greedy compiles, the live learner never does.
+	if s, _ := Get("adaptive"); !s.Compilable {
+		t.Error("adaptive must advertise compilability")
+	}
+	if s, _ := Get("learning"); s.Compilable {
+		t.Error("learning observes outcomes and must not advertise compilability")
 	}
 }
 
