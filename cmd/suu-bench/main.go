@@ -16,10 +16,14 @@
 //	                          # workload family, per-solver
 //	                          # construction cost (sparse vs dense LP
 //	                          # side by side), the LP layer in
-//	                          # isolation, and grid-harness
-//	                          # throughput, and write the JSON perf
-//	                          # record; CI uploads it so the perf
-//	                          # trajectory accumulates per PR
+//	                          # isolation, the adaptive_engine and
+//	                          # bitparallel_engine sections (scalar
+//	                          # table walk vs generic, and the 64-lane
+//	                          # bit-parallel engine vs scalar compiled,
+//	                          # tail remainder included), and
+//	                          # grid-harness throughput, and write the
+//	                          # JSON perf record; CI uploads it so the
+//	                          # perf trajectory accumulates per PR
 //	suu-bench -lp             # benchmark ONLY the LP layer (build +
 //	                          # solve per family/size, sparse revised
 //	                          # simplex vs dense tableau) and print

@@ -109,6 +109,37 @@ type AdaptiveEngineBench struct {
 	Error              string  `json:"error,omitempty"`
 }
 
+// BitParallelEngineBench is one row of the bitparallel_engine
+// section: the 64-lane bit-parallel engine measured head to head
+// against the scalar compiled engine on the same policy — the number
+// the CI bench-smoke gate asserts stays ≥5x on the T12 families.
+type BitParallelEngineBench struct {
+	Family   string `json:"family"`
+	Jobs     int    `json:"jobs"`
+	Machines int    `json:"machines"`
+	Policy   string `json:"policy"`
+	// LaneEngine / ScalarEngine are the EngineUsed names of the two
+	// timed runs ("compiled-lane" vs "compiled", or the -adaptive
+	// pair); Lanes is the lockstep width (64).
+	LaneEngine   string `json:"lane_engine"`
+	ScalarEngine string `json:"scalar_engine"`
+	Lanes        int    `json:"lanes"`
+	Reps         int    `json:"reps"`
+	// PartialLanes records the tail remainder: reps % lanes repetitions
+	// run in a final partial group (masked lanes), chosen non-zero on
+	// purpose so the record always exercises that path.
+	PartialLanes int `json:"partial_lanes"`
+	// LaneRepsPerSec and ScalarRepsPerSec are sequential single-worker
+	// throughputs at identical rep counts, so the ratio isolates the
+	// lane restructuring.
+	LaneRepsPerSec   float64 `json:"lane_reps_per_sec"`
+	ScalarRepsPerSec float64 `json:"scalar_reps_per_sec"`
+	// LaneNsPerStep normalizes the lane run by simulated machine-steps.
+	LaneNsPerStep float64 `json:"lane_ns_per_step"`
+	Speedup       float64 `json:"speedup"`
+	Error         string  `json:"error,omitempty"`
+}
+
 // SimBenchFile is the BENCH_sim.json document.
 type SimBenchFile struct {
 	Generated string `json:"generated"`
@@ -130,6 +161,9 @@ type SimBenchFile struct {
 	// AdaptiveEngine records the compiled-adaptive vs generic-step
 	// estimation throughput on stationary policies.
 	AdaptiveEngine []AdaptiveEngineBench `json:"adaptive_engine,omitempty"`
+	// BitParallelEngine records the 64-lane bit-parallel engine vs the
+	// scalar compiled engines on the same policies.
+	BitParallelEngine []BitParallelEngineBench `json:"bitparallel_engine,omitempty"`
 	// Grid records the scenario-grid harness's cell throughput and
 	// parallel speedup.
 	Grid *GridHarnessBench `json:"grid_harness,omitempty"`
@@ -227,6 +261,7 @@ func SimBenchmarks(cfg Config) SimBenchFile {
 	}
 	file.SolverBuilds = SolverBuildBenchmarks(cfg)
 	file.AdaptiveEngine = AdaptiveEngineBenchmarks(cfg)
+	file.BitParallelEngine = BitParallelEngineBenchmarks(cfg)
 	file.LPBench = LPBenchmarks(cfg)
 	file.Grid = GridHarnessBenchmark(cfg)
 	return file
@@ -258,6 +293,10 @@ func adaptiveEngineCases(cfg Config) []struct {
 // forced through a PolicyFunc wrapper, which strips the Memoizable
 // marker without touching the assignments.
 func AdaptiveEngineBenchmarks(cfg Config) []AdaptiveEngineBench {
+	// This section measures the SCALAR table walk (the lane engine has
+	// its own bitparallel_engine section), so pin lanes off for the
+	// duration — at these rep counts auto dispatch would select them.
+	defer sim.SetBitParallel(sim.BitParallelOff)()
 	compiledReps, genericReps := 4000, 1000
 	if cfg.Quick {
 		compiledReps, genericReps = 1000, 250
@@ -290,6 +329,107 @@ func AdaptiveEngineBenchmarks(cfg Config) []AdaptiveEngineBench {
 		}
 		if row.GenericRepsPerSec > 0 {
 			row.Speedup = row.CompiledRepsPerSec / row.GenericRepsPerSec
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// bitParallelEngineCases are the workloads the bitparallel_engine
+// section measures: the two T12 chains families the CI gate reads
+// (the paper constructions whose throughput story this engine
+// continues), the widest oblivious LP family, and one compiled-
+// adaptive policy for the lane table walk.
+func bitParallelEngineCases(cfg Config) []struct {
+	family string
+	build  func(seed int64) (*model.Instance, sched.Policy, string, error)
+} {
+	chains := func(jobs, machines, nChains int) func(seed int64) (*model.Instance, sched.Policy, string, error) {
+		return func(seed int64) (*model.Instance, sched.Policy, string, error) {
+			in := workload.Chains(workload.Config{Jobs: jobs, Machines: machines, Seed: seed}, nChains)
+			res, err := core.SUUChains(in, paramsWithSeed(seed))
+			if err != nil {
+				return nil, nil, "", err
+			}
+			return in, res.Schedule, "chains (Thm 4.4)", nil
+		}
+	}
+	return []struct {
+		family string
+		build  func(seed int64) (*model.Instance, sched.Policy, string, error)
+	}{
+		{"chains-48x8", chains(48, 8, 6)},
+		{"chains-96x12", chains(96, 12, 8)},
+		{"independent-64x16", func(seed int64) (*model.Instance, sched.Policy, string, error) {
+			in := workload.Independent(workload.Config{Jobs: 64, Machines: 16, Seed: seed})
+			res, err := core.SUUIndependentLP(in, paramsWithSeed(seed))
+			if err != nil {
+				return nil, nil, "", err
+			}
+			return in, res.Schedule, "oblivious-lp (Thm 4.5)", nil
+		}},
+		{"adaptive-12x4", func(seed int64) (*model.Instance, sched.Policy, string, error) {
+			in := workload.Independent(workload.Config{Jobs: 12, Machines: 4, Seed: seed})
+			return in, &core.AdaptivePolicy{In: in}, "adaptive (Thm 3.3)", nil
+		}},
+	}
+}
+
+// BitParallelEngineBenchmarks measures the 64-lane bit-parallel
+// engine against the scalar compiled engine, forced through the
+// BitParallel knob on otherwise identical sequential single-worker
+// estimations. Rep counts are deliberately not lane-width multiples,
+// so every record includes a masked partial tail group.
+func BitParallelEngineBenchmarks(cfg Config) []BitParallelEngineBench {
+	reps := 8024
+	if cfg.Quick {
+		reps = 2008
+	}
+	var out []BitParallelEngineBench
+	for _, bc := range bitParallelEngineCases(cfg) {
+		seed := sim.SeedFor(cfg.Seed, "bench-bitparallel/"+bc.family)
+		in, pol, polName, err := bc.build(seed)
+		row := BitParallelEngineBench{Family: bc.family, Policy: polName}
+		if err != nil {
+			row.Error = err.Error()
+			out = append(out, row)
+			continue
+		}
+		row.Jobs, row.Machines = in.N, in.M
+		row.Reps, row.PartialLanes = reps, reps%sim.LaneWidth
+		bestOf3 := func(mode sim.BitParallelMode) (float64, float64, sim.EngineUsed) {
+			defer sim.SetBitParallel(mode)()
+			best, mean := -1.0, 0.0
+			var eng sim.EngineUsed
+			for try := 0; try < 3; try++ {
+				start := time.Now()
+				sum, _, e := sim.EstimateInfo(in, pol, reps, 5_000_000, seed+59)
+				if sec := time.Since(start).Seconds(); best < 0 || sec < best {
+					best, mean, eng = sec, sum.Mean, e
+				}
+			}
+			return best, mean, eng
+		}
+		laneSec, laneMean, laneEng := bestOf3(sim.BitParallelOn)
+		scalarSec, _, scalarEng := bestOf3(sim.BitParallelOff)
+		row.LaneEngine, row.ScalarEngine = laneEng.Engine, scalarEng.Engine
+		row.Lanes = laneEng.Lanes
+		if laneEng.Lanes != sim.LaneWidth {
+			row.Error = fmt.Sprintf("expected a %d-lane engine, ran %s", sim.LaneWidth, laneEng.Engine)
+			out = append(out, row)
+			continue
+		}
+		if laneSec > 0 {
+			row.LaneRepsPerSec = float64(reps) / laneSec
+			if steps := laneMean * float64(reps); steps > 0 {
+				row.LaneNsPerStep = laneSec * 1e9 / steps
+			}
+		}
+		if scalarSec > 0 {
+			row.ScalarRepsPerSec = float64(reps) / scalarSec
+		}
+		if row.ScalarRepsPerSec > 0 {
+			row.Speedup = row.LaneRepsPerSec / row.ScalarRepsPerSec
 		}
 		out = append(out, row)
 	}

@@ -248,6 +248,19 @@ func TestEvalCellHonorsOverridesAndRecordsEngine(t *testing.T) {
 	if r := EvalCell(cfg, GridCell{Point: point, Solver: "forest", Eval: "nope"}); r.Err == nil {
 		t.Error("unknown cell evaluator not reported")
 	}
+	// Full-mode rep counts cross the bit-parallel auto-dispatch
+	// threshold, and the lane engine's name must surface in the row.
+	full := Config{Quick: false, Seed: 11, Workers: 1}
+	if full.reps() < sim.BitParallelAutoMinReps {
+		t.Fatalf("full-mode reps %d below lane threshold %d; test premise broken", full.reps(), sim.BitParallelAutoMinReps)
+	}
+	laneCell := EvalCell(full, GridCell{Point: point, Solver: "lp-oblivious"})
+	if laneCell.Err != nil {
+		t.Fatal(laneCell.Err)
+	}
+	if laneCell.Engine != sim.EngineLane {
+		t.Errorf("full-mode oblivious cell engine %q, want %q (auto lane dispatch)", laneCell.Engine, sim.EngineLane)
+	}
 }
 
 func TestSolverIDsForClassFiltering(t *testing.T) {

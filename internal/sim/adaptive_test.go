@@ -66,6 +66,10 @@ func adaptiveParityCases(t *testing.T) map[string]struct {
 // incomplete count EXACTLY (same draws, same order, same floats), and
 // must stay bit-identical across worker counts 1/4/GOMAXPROCS.
 func TestCompiledAdaptiveBitIdenticalToGeneric(t *testing.T) {
+	// This pins the SCALAR table walk to the step engine; at these rep
+	// counts auto dispatch would select the lane engine, whose own
+	// exactness contract lives in lane_test.go.
+	defer SetBitParallel(BitParallelOff)()
 	const reps, cap, seed = 1500, 100000, 17
 	for name, tc := range adaptiveParityCases(t) {
 		t.Run(name, func(t *testing.T) {
@@ -122,6 +126,7 @@ func TestCompiledAdaptiveMassParity(t *testing.T) {
 // budget fits, because the engines are bit-identical. A zero budget
 // disables compilation outright.
 func TestCompiledAdaptiveFallbackOverBudget(t *testing.T) {
+	defer SetBitParallel(BitParallelOff)() // pin the scalar engines; see lane_test.go
 	in := workload.Independent(workload.Config{Jobs: 8, Machines: 3, Seed: 3})
 	pol := &core.AdaptivePolicy{In: in}
 	const reps, cap, seed = 800, 100000, 5
@@ -153,6 +158,7 @@ func TestCompiledAdaptiveFallbackOverBudget(t *testing.T) {
 // there forever; the compiled walk must report the same capped,
 // incomplete runs as the step engine.
 func TestCompiledAdaptiveStuckState(t *testing.T) {
+	defer SetBitParallel(BitParallelOff)() // pin the scalar engines; see lane_test.go
 	in := model.New(2, 1)
 	in.SetAt(0, 0, 0.5)
 	in.SetAt(0, 1, 0.5)
@@ -202,6 +208,7 @@ func (observingMemoizable) Memoizable() {}
 // a certain job drawn by several machines stays one trial — and the
 // engines stay bit-identical.
 func TestCompiledAdaptiveCertainJobParity(t *testing.T) {
+	defer SetBitParallel(BitParallelOff)() // pin the scalar engines; see lane_test.go
 	in := model.New(2, 2)
 	in.SetAt(0, 0, 1)
 	in.SetAt(1, 0, 1)

@@ -41,6 +41,9 @@ func chainsFixture() (*model.Instance, *sched.Oblivious) {
 // wrapper (which disables compilation) must produce the same makespan
 // distribution and mass probabilities up to Monte Carlo error.
 func TestCompiledMatchesStepEngine(t *testing.T) {
+	// Pin the scalar compiled engine: at these rep counts auto dispatch
+	// would select the lane engine, whose parity is lane_test.go's job.
+	defer SetBitParallel(BitParallelOff)()
 	in, o := chainsFixture()
 	generic := sched.PolicyFunc(func(st *sched.State) sched.Assignment { return o.At(st.Step) })
 
@@ -69,6 +72,7 @@ func TestCompiledMatchesStepEngine(t *testing.T) {
 // so the compiled engine's tail continuation runs, and checks it
 // still completes and matches the generic engine.
 func TestCompiledTailContinuation(t *testing.T) {
+	defer SetBitParallel(BitParallelOff)() // pin the scalar engines; see lane_test.go
 	in, o := chainsFixture()
 	short := &sched.Oblivious{M: o.M, Steps: o.Steps[:2], Tail: o.Tail}
 	generic := sched.PolicyFunc(func(st *sched.State) sched.Assignment { return short.At(st.Step) })

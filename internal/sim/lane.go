@@ -1,0 +1,618 @@
+package sim
+
+import "math/bits"
+
+// The bit-parallel lane engine advances LaneWidth (64) independent
+// repetitions in lockstep, one per bit of a uint64. Per-rep state in
+// both compiled engines is tiny — "which jobs are finished" plus a
+// clock — so completion bookkeeping becomes AND/OR/popcount-style
+// word operations, and each (job, step) completion trial draws all 64
+// lanes' Bernoulli outcomes at once from the raw words SplitMix64
+// already emits (see laneBernoulli). Makespans feed the existing
+// chunked Welford accumulators 64 samples at a time, in lane order.
+//
+// # Stream remap
+//
+// Lane repetitions cannot consume the per-rep (seed, rep) streams the
+// scalar engines use — 64 reps share each drawn word — so the lane
+// engine pins its own SeedFor-derived schedule, the "lane stream
+// remap":
+//
+//   - Repetitions are grouped 64 at a time: group g covers reps
+//     [64g, 64g+64) and draws trial words from the stream seeded
+//     SeedFor(seed, "lane", g). Lane l of group g is repetition
+//     64g + l.
+//   - Every completion trial is keyed by its position in the
+//     schedule, via Stream.ReseedTrial(groupSeed, a, b): the compiled
+//     oblivious walk keys trials (occurrence index, 0); the adaptive
+//     table walk keys trials (step, job). Lane l's outcome depends
+//     only on the group seed, the trial key, and bit l of the drawn
+//     words — never on which other lanes are still running — so a
+//     partial tail group is exactly the restriction of a full one.
+//   - Repetitions that outlive a compiled oblivious prefix continue
+//     on the generic step engine with the sequential stream
+//     Reseed(SeedFor(seed, "lane-tail"), rep).
+//
+// The scalar compiled engines double as the exactness oracle: run
+// under the same remap (one lane at a time — see bitParallelOracle),
+// they reproduce every lane makespan bit for bit, which is what the
+// lane parity tests pin. Because group g's draws depend only on
+// (seed, g) and chunk boundaries are group-aligned, lane results are
+// bit-identical at any worker count, exactly like the scalar engines.
+//
+// Means and variances under the remap differ from the scalar
+// engines' in the last Monte Carlo digits (different draws, same
+// distribution); EstimateInfo reports which engine ran so persisted
+// results are attributable.
+
+// LaneWidth is the number of repetitions a lane group advances in
+// lockstep: one per bit of a uint64.
+const LaneWidth = 64
+
+// BitParallelMode selects how the estimators use the bit-parallel
+// lane engine; see SetBitParallel.
+type BitParallelMode int
+
+const (
+	// BitParallelAuto (the default) runs the lane engine whenever a
+	// compiled engine is available and the call's repetition count is
+	// at least BitParallelAutoMinReps.
+	BitParallelAuto BitParallelMode = iota
+	// BitParallelOff always runs the scalar engines.
+	BitParallelOff
+	// BitParallelOn runs the lane engine whenever a compiled engine is
+	// available, regardless of repetition count.
+	BitParallelOn
+	// bitParallelOracle runs the scalar compiled engines one lane at a
+	// time under the lane stream remap — the exactness oracle the
+	// parity tests compare against. Unexported: a test mode, not a
+	// user-facing engine (it reports the lane engine names, since it
+	// computes the lane engine's numbers).
+	bitParallelOracle
+)
+
+// bitParallelMode is the active mode; see SetBitParallel.
+var bitParallelMode = BitParallelAuto
+
+// BitParallelAutoMinReps is the repetition floor for auto dispatch:
+// below it the per-group fixed costs (SeedFor per group, per-lane
+// eligibility scatter) are not worth the lockstep win, and scalar
+// results stay bit-compatible with historical runs.
+const BitParallelAutoMinReps = 256
+
+// SetBitParallel replaces the lane-engine dispatch mode and returns a
+// func restoring the previous value. Not safe to call concurrently
+// with estimation; it exists for tests and benchmark harnesses that
+// must pin one engine.
+func SetBitParallel(m BitParallelMode) (restore func()) {
+	old := bitParallelMode
+	bitParallelMode = m
+	return func() { bitParallelMode = old }
+}
+
+// BitParallel returns the active lane-engine dispatch mode.
+func BitParallel() BitParallelMode { return bitParallelMode }
+
+// laneAdaptDemoteStates is the divergence threshold of the lane
+// adaptive walk: when a step's live lanes trial more than this many
+// distinct (job, succ) pairs — draws that cannot be shared across
+// lanes — the group demotes to the per-lane scalar walk. Demotion
+// changes no result — the scalar walk consumes the same
+// position-keyed trials — only where the remaining time is spent; the
+// threshold is a pure performance knob (var, so the invariance test
+// can sweep it).
+var laneAdaptDemoteStates = 48
+
+// laneGroupSeed derives lane group g's trial-stream seed.
+func laneGroupSeed(seed, g int64) int64 { return SeedFor(seed, "lane", g) }
+
+// laneTailSeed derives the root of the per-rep tail streams.
+func laneTailSeed(seed int64) int64 { return SeedFor(seed, "lane-tail") }
+
+// laneBernoulli draws one exact Bernoulli(succ) outcome for each of
+// the 64 lanes of trial (a, b), returning the success mask. Lane l's
+// uniform is the infinite binary fraction whose i-th bit is bit l of
+// the i-th word of the trial stream; the mask compares all 64
+// uniforms against succ's exact binary expansion MSB-first, stopping
+// as soon as every lane in need is decided. Bit extraction (p *= 2,
+// subtract 1 on overflow) is exact in float64 — doubling never
+// rounds, and Sterbenz's lemma covers the subtraction — so the
+// acceptance probability is exactly succ, the same as the scalar
+// engines' Float64() < succ. Expected cost is ~log2(64)+2 words for a
+// full group and ~2 words for a single lane, independent of succ.
+//
+// Lanes outside need may be left undecided; their mask bits are
+// meaningless. A decided lane's bit is the same for every need
+// containing it, because the decision reads fixed positions of a
+// counter-positioned stream — this is what makes the one-lane-at-a-
+// time oracle replay exact.
+func laneBernoulli(tr *Stream, gseed, a, b int64, succ float64, need uint64) uint64 {
+	if succ >= 1 {
+		return ^uint64(0)
+	}
+	if succ <= 0 {
+		return 0
+	}
+	tr.ReseedTrial(gseed, a, b)
+	und := ^uint64(0) // lanes whose uniform still ties succ's prefix
+	var win uint64
+	for und&need != 0 {
+		succ *= 2
+		w := tr.Uint64()
+		if succ >= 1 {
+			succ--
+			// succ-bit 1: lanes whose uniform bit is 0 fall below succ.
+			win |= und &^ w
+			und &= w
+			if succ == 0 {
+				// succ's bits are exhausted; still-tied lanes sit at or
+				// above succ and fail.
+				break
+			}
+		} else {
+			// succ-bit 0: lanes whose uniform bit is 1 exceed succ.
+			und &^= w
+		}
+	}
+	return win
+}
+
+// laneWorker is one estimation worker's lane engine: runGroup
+// executes lane group g (cnt live lanes, cnt < LaneWidth only for the
+// final partial group) and returns the per-lane makespans in lane
+// order plus the completed-lane mask. The returned slice is a view
+// into the worker's buffer, valid until the next call.
+type laneWorker interface {
+	runGroup(g int64, cnt, maxSteps int) (mk []int32, completed uint64)
+}
+
+// newLaneWorker builds the lane engine (or, in oracle mode, the
+// scalar replay of it) for this estimator's compiled policy. Callers
+// guarantee est.lane.
+func (e *estimator) newLaneWorker(seed int64) laneWorker {
+	if e.compiled != nil {
+		if e.oracle {
+			return &laneOblivOracle{r: e.compiled.newRunner(), seed: seed}
+		}
+		return newLaneOblivRunner(e.compiled, seed)
+	}
+	if e.oracle {
+		return &laneAdaptOracle{c: e.adaptive, seed: seed}
+	}
+	return newLaneAdaptRunner(e.adaptive, seed)
+}
+
+// laneOblivRunner walks the compiled oblivious occurrence lists with
+// 64 lanes in lockstep. The walk visits the same (job, occurrence)
+// trials as the scalar compiled walk would for each lane under the
+// remap: per job, lanes whose predecessors all completed within the
+// prefix become active at their first occurrence at or after their
+// eligibility step and trial occurrences in order until they
+// complete; everything else is bookkeeping on lane masks.
+type laneOblivRunner struct {
+	c    *compiledOblivious
+	seed int64
+	// comp[j*LaneWidth+l] is lane l's completion step of job j, -1
+	// while unfinished. done[j] is the lane mask that completed j
+	// within the prefix. winMask[k] is the cumulative mask of lanes
+	// that completed the job at or before its occurrence k (valid up
+	// to wlast[job], the last occurrence its walk visited) — per-lane
+	// completion steps in wordwise form, which is what lets successor
+	// eligibility stay mask arithmetic plus a binary search.
+	comp    []int32
+	done    []uint64
+	winMask []uint64
+	wlast   []int32
+	elig    [LaneWidth]int32 // scratch: per-lane eligibility step of the current job
+	mcmp    [LaneWidth]int32 // per-lane max completion step
+	mk      [LaneWidth]int32
+	tr      Stream
+	tail    Stream
+	// tailR is a scratch scalar runner: lanes that outlive the prefix
+	// continue one at a time on the generic step engine, reusing the
+	// scalar engine's continueTail seeding.
+	tailR *oblivRunner
+}
+
+func newLaneOblivRunner(c *compiledOblivious, seed int64) *laneOblivRunner {
+	return &laneOblivRunner{
+		c:       c,
+		seed:    seed,
+		comp:    make([]int32, c.in.N*LaneWidth),
+		done:    make([]uint64, c.in.N),
+		winMask: make([]uint64, len(c.steps)),
+		wlast:   make([]int32, c.in.N),
+	}
+}
+
+// laneNegOnes is the memmove template resetting a job's completion
+// column to "unfinished".
+var laneNegOnes = func() (a [LaneWidth]int32) {
+	for i := range a {
+		a[i] = -1
+	}
+	return
+}()
+
+func (r *laneOblivRunner) runGroup(g int64, cnt, maxSteps int) ([]int32, uint64) {
+	c := r.c
+	in := c.in
+	gseed := laneGroupSeed(r.seed, g)
+	laneMask := ^uint64(0)
+	if cnt < LaneWidth {
+		laneMask = uint64(1)<<uint(cnt) - 1
+	}
+	cap := c.prefixLen
+	if maxSteps < cap {
+		cap = maxSteps
+	}
+	var unfin uint64 // lanes with at least one job unfinished after the prefix
+	for l := range r.mcmp {
+		r.mcmp[l] = -1
+	}
+	for _, j32 := range c.topo {
+		j := int(j32)
+		comp := r.comp[j*LaneWidth : (j+1)*LaneWidth]
+		copy(comp, laneNegOnes[:])
+		// Lanes that may trial j at all: every predecessor done.
+		eligAll := laneMask
+		preds := in.Prec.Preds(j)
+		for _, pr := range preds {
+			eligAll &= r.done[pr]
+		}
+		lo, hi := int(c.offs[j]), int(c.offs[j+1])
+		r.wlast[j] = int32(lo) - 1
+		var doneJ uint64
+		if eligAll != 0 && lo < hi {
+			firstT, lastT := c.steps[lo], c.steps[hi-1]
+			active := eligAll
+			var pend uint64
+			if len(preds) > 0 {
+				// Sort lanes by eligibility step wordwise: winsBefore
+				// says which lanes a pred released before j's first
+				// occurrence (early) and which it held to the last or
+				// beyond (late) — two binary searches per pred, no
+				// per-lane reads. Stragglers in between are rare (the
+				// constructions replicate assignments Θ(σ) times); only
+				// they pay a per-lane eligibility computation before
+				// waiting in pend.
+				var drop uint64
+				for _, pr := range preds {
+					active &= r.winsBefore(int(pr), firstT)
+					drop |= r.done[pr] &^ r.winsBefore(int(pr), lastT)
+				}
+				for m := eligAll &^ active &^ drop; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros64(m)
+					e := int32(0)
+					for _, pr := range preds {
+						if pc := r.comp[pr*LaneWidth+l] + 1; pc > e {
+							e = pc
+						}
+					}
+					pend |= uint64(1) << uint(l)
+					r.elig[l] = e
+				}
+			}
+			k := lo
+			for ; k < hi && active|pend != 0; k++ {
+				t := c.steps[k]
+				if int(t) >= cap {
+					break
+				}
+				if pend != 0 {
+					for m := pend; m != 0; m &= m - 1 {
+						l := bits.TrailingZeros64(m)
+						if r.elig[l] <= t {
+							pend &^= uint64(1) << uint(l)
+							active |= uint64(1) << uint(l)
+						}
+					}
+				}
+				if active != 0 {
+					win := active & laneBernoulli(&r.tr, gseed, int64(k), 0, c.succ[k], active)
+					if win != 0 {
+						doneJ |= win
+						active &^= win
+						for m := win; m != 0; m &= m - 1 {
+							l := bits.TrailingZeros64(m)
+							comp[l] = t
+							if t > r.mcmp[l] {
+								r.mcmp[l] = t
+							}
+						}
+					}
+				}
+				r.winMask[k] = doneJ
+			}
+			r.wlast[j] = int32(k) - 1
+		}
+		r.done[j] = doneJ
+		unfin |= laneMask &^ doneJ
+	}
+	completed := laneMask &^ unfin
+	for m := completed; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros64(m)
+		r.mk[l] = r.mcmp[l] + 1
+	}
+	if unfin != 0 {
+		if maxSteps <= c.prefixLen {
+			for m := unfin; m != 0; m &= m - 1 {
+				r.mk[bits.TrailingZeros64(m)] = int32(maxSteps)
+			}
+		} else {
+			for m := unfin; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros64(m)
+				mk, done := r.continueTailLane(g, l, maxSteps)
+				r.mk[l] = int32(mk)
+				if done {
+					completed |= uint64(1) << uint(l)
+				}
+			}
+		}
+	}
+	return r.mk[:cnt], completed
+}
+
+// winsBefore returns the mask of lanes that completed job pr strictly
+// before step x, by binary search over pr's (sorted) occurrence steps
+// into the cumulative win masks. Occurrences past wlast[pr] were never
+// visited and hold no wins, so the search space is clamped there; the
+// cumulative mask at the clamp already equals pr's full done mask.
+func (r *laneOblivRunner) winsBefore(pr int, x int32) uint64 {
+	c := r.c
+	i, j := int(c.offs[pr]), int(c.offs[pr+1])
+	lo := i
+	if w := int(r.wlast[pr]) + 1; j > w {
+		j = w
+	}
+	for i < j {
+		m := int(uint(i+j) >> 1)
+		if c.steps[m] < x {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	if i == lo {
+		return 0
+	}
+	return r.winMask[i-1]
+}
+
+// continueTailLane hands lane l to the generic step engine: it copies
+// the lane's completion column into the scratch scalar runner and
+// reuses its continueTail seeding, with the rep's pinned tail stream.
+func (r *laneOblivRunner) continueTailLane(g int64, l, maxSteps int) (int, bool) {
+	if r.tailR == nil {
+		r.tailR = r.c.newRunner()
+	}
+	tr := r.tailR
+	unfinished := 0
+	for j := 0; j < r.c.in.N; j++ {
+		tr.comp[j] = r.comp[j*LaneWidth+l]
+		tr.mass[j] = 0
+		if tr.comp[j] < 0 {
+			unfinished++
+		}
+	}
+	r.tail.Reseed(laneTailSeed(r.seed), g*LaneWidth+int64(l))
+	return tr.continueTail(unfinished, maxSteps, &r.tail)
+}
+
+// laneOblivOracle replays the lane engine's numbers one lane at a
+// time on the scalar compiled walk (oblivRun parameterized with
+// remapDraw) — the exactness oracle for the oblivious lane walk.
+type laneOblivOracle struct {
+	r    *oblivRunner
+	seed int64
+	tr   Stream
+	tail Stream
+	mk   [LaneWidth]int32
+}
+
+func (o *laneOblivOracle) runGroup(g int64, cnt, maxSteps int) ([]int32, uint64) {
+	gseed := laneGroupSeed(o.seed, g)
+	var completed uint64
+	for l := 0; l < cnt; l++ {
+		o.tail.Reseed(laneTailSeed(o.seed), g*LaneWidth+int64(l))
+		mk, done := oblivRun(o.r, maxSteps, remapDraw{tr: &o.tr, tail: &o.tail, gseed: gseed, lane: uint(l)})
+		o.mk[l] = int32(mk)
+		if done {
+			completed |= uint64(1) << uint(l)
+		}
+	}
+	return o.mk[:cnt], completed
+}
+
+// laneAdaptMaxFan bounds the per-state trial fan-out; it matches the
+// assignment width compileAdaptive accepts.
+const laneAdaptMaxFan = 20
+
+// laneAdaptRunner walks the compiled adaptive transition table with
+// 64 lanes in lockstep. Lanes share the immutable table but diverge
+// on unfinished-set keys; the lockstep win survives divergence
+// because trials are keyed (step, job), not (step, state): lanes in
+// different states that trial the same job with the same success
+// probability read the same stream position, so each step draws once
+// per distinct (job, succ) pair across all live lanes instead of once
+// per lane. When a step's pair count exceeds laneAdaptDemoteStates,
+// the lanes have diverged so far that the shared draws stop paying
+// and the group demotes to the per-lane scalar walk — same
+// position-keyed trials, so identical results.
+type laneAdaptRunner struct {
+	c   *compiledAdaptive
+	cur [LaneWidth]int32
+	mk  [LaneWidth]int32
+	// The distinct (job, succ) pairs of the whole table, interned at
+	// construction: spID[spOff[s]+ki] is the pair trialed by state s's
+	// slot ki, so the per-step pair lookup is one indexed load.
+	spOff    []int32
+	spID     []int32
+	pairJob  []int32
+	pairSucc []float64
+	// Per-step scratch: each touched pair's needing-lane mask and
+	// drawn word, plus the list of touched pair ids (pairNeed is dense
+	// over all pairs; only touched entries are ever non-zero).
+	pairNeed []uint64
+	pairWord []uint64
+	touched  []int32
+	sub      [LaneWidth][laneAdaptMaxFan]int32 // pair id per (lane, trial slot)
+	seed     int64
+	tr       Stream
+}
+
+func newLaneAdaptRunner(c *compiledAdaptive, seed int64) *laneAdaptRunner {
+	r := &laneAdaptRunner{c: c, seed: seed, spOff: make([]int32, len(c.states)+1)}
+	type pairKey struct {
+		j int32
+		p float64
+	}
+	ids := make(map[pairKey]int32)
+	for si := range c.states {
+		s := &c.states[si]
+		r.spOff[si] = int32(len(r.spID))
+		for ki, j := range s.jobs {
+			k := pairKey{int32(j), s.succ[ki]}
+			id, ok := ids[k]
+			if !ok {
+				id = int32(len(r.pairJob))
+				ids[k] = id
+				r.pairJob = append(r.pairJob, k.j)
+				r.pairSucc = append(r.pairSucc, k.p)
+			}
+			r.spID = append(r.spID, id)
+		}
+	}
+	r.spOff[len(c.states)] = int32(len(r.spID))
+	r.pairNeed = make([]uint64, len(r.pairJob))
+	r.pairWord = make([]uint64, len(r.pairJob))
+	return r
+}
+
+func (r *laneAdaptRunner) runGroup(g int64, cnt, maxSteps int) ([]int32, uint64) {
+	gseed := laneGroupSeed(r.seed, g)
+	laneMask := ^uint64(0)
+	if cnt < LaneWidth {
+		laneMask = uint64(1)<<uint(cnt) - 1
+	}
+	active := laneMask
+	for l := 0; l < cnt; l++ {
+		r.cur[l] = 0
+	}
+	var completed uint64
+	states := r.c.states
+	for t := 0; t < maxSteps && active != 0; t++ {
+		// Collect the step's touched (job, succ) pairs and each pair's
+		// needing-lane mask.
+		r.touched = r.touched[:0]
+		for m := active; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			cur := r.cur[l]
+			sp := r.spID[r.spOff[cur]:r.spOff[cur+1]]
+			sub := &r.sub[l]
+			for ki, q := range sp {
+				if r.pairNeed[q] == 0 {
+					r.touched = append(r.touched, q)
+				}
+				r.pairNeed[q] |= uint64(1) << uint(l)
+				sub[ki] = q
+			}
+		}
+		if len(r.touched) > laneAdaptDemoteStates {
+			for _, q := range r.touched {
+				r.pairNeed[q] = 0
+			}
+			for m := active; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros64(m)
+				mk, done := r.c.laneRunFrom(&r.tr, gseed, uint(l), r.cur[l], t, maxSteps)
+				r.mk[l] = int32(mk)
+				if done {
+					completed |= uint64(1) << uint(l)
+				}
+			}
+			active = 0
+			break
+		}
+		for _, q := range r.touched {
+			r.pairWord[q] = laneBernoulli(&r.tr, gseed, int64(t), int64(r.pairJob[q]), r.pairSucc[q], r.pairNeed[q])
+			r.pairNeed[q] = 0
+		}
+		for m := active; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			s := &states[r.cur[l]]
+			sub := 0
+			for ki := range s.jobs {
+				sub |= int(r.pairWord[r.sub[l][ki]]>>uint(l)&1) << uint(ki)
+			}
+			if sub == 0 {
+				// No completions this step; a state with no trialed jobs
+				// is stuck, exactly like the step engine under an
+				// all-idle assignment.
+				continue
+			}
+			nxt := s.next[sub]
+			if nxt < 0 {
+				r.mk[l] = int32(t + 1)
+				completed |= uint64(1) << uint(l)
+				active &^= uint64(1) << uint(l)
+			} else {
+				r.cur[l] = nxt
+			}
+		}
+	}
+	for m := active; m != 0; m &= m - 1 {
+		r.mk[bits.TrailingZeros64(m)] = int32(maxSteps)
+	}
+	return r.mk[:cnt], completed
+}
+
+// laneRunFrom walks one lane of group gseed through the table from
+// state cur at step t0, drawing each trial from its pinned (step,
+// job) stream position. Both the demoted lane walk and the adaptive
+// oracle run exactly this code, which is why demotion is invisible in
+// the results.
+func (c *compiledAdaptive) laneRunFrom(tr *Stream, gseed int64, lane uint, cur int32, t0, maxSteps int) (int, bool) {
+	states := c.states
+	need := uint64(1) << lane
+	for t := t0; t < maxSteps; t++ {
+		s := &states[cur]
+		sub := 0
+		for ki, j := range s.jobs {
+			if laneBernoulli(tr, gseed, int64(t), int64(j), s.succ[ki], need)&need != 0 {
+				sub |= 1 << uint(ki)
+			}
+		}
+		if sub == 0 {
+			continue
+		}
+		nxt := s.next[sub]
+		if nxt < 0 {
+			return t + 1, true
+		}
+		cur = nxt
+	}
+	return maxSteps, false
+}
+
+// laneAdaptOracle replays the lane engine's numbers one lane at a
+// time via laneRunFrom — the exactness oracle for the adaptive lane
+// walk.
+type laneAdaptOracle struct {
+	c    *compiledAdaptive
+	seed int64
+	tr   Stream
+	mk   [LaneWidth]int32
+}
+
+func (o *laneAdaptOracle) runGroup(g int64, cnt, maxSteps int) ([]int32, uint64) {
+	gseed := laneGroupSeed(o.seed, g)
+	var completed uint64
+	for l := 0; l < cnt; l++ {
+		mk, done := o.c.laneRunFrom(&o.tr, gseed, uint(l), 0, 0, maxSteps)
+		o.mk[l] = int32(mk)
+		if done {
+			completed |= uint64(1) << uint(l)
+		}
+	}
+	return o.mk[:cnt], completed
+}

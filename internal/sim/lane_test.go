@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"suu/internal/core"
+	"suu/internal/model"
+	"suu/internal/sched"
+	"suu/internal/workload"
+)
+
+// withMode runs f under the given BitParallel dispatch mode.
+func withMode(m BitParallelMode, f func()) {
+	defer SetBitParallel(m)()
+	f()
+}
+
+// TestLaneBernoulliOracleBit pins laneBernoulli's core property: a
+// decided lane's outcome is identical whether it is drawn as part of
+// the full 64-lane mask or alone — the property that makes the scalar
+// one-lane-at-a-time oracle an exact replay of the lane engine. Also
+// pins the p<=0 / p>=1 shortcuts and determinism.
+func TestLaneBernoulliOracleBit(t *testing.T) {
+	var tr Stream
+	rng := rand.New(NewStream(SeedFor(7, "lane-bern")))
+	ps := []float64{0, 1, 0.5, 0.25, 1e-9, 1 - 1e-9, 0.3, 0.9999, 0.317}
+	for i := 0; i < 200; i++ {
+		ps = append(ps, rng.Float64())
+	}
+	for i, p := range ps {
+		gseed, a, b := int64(i), int64(i*3), int64(i%5)
+		full := laneBernoulli(&tr, gseed, a, b, p, ^uint64(0))
+		again := laneBernoulli(&tr, gseed, a, b, p, ^uint64(0))
+		if full != again {
+			t.Fatalf("p=%v: not deterministic: %x vs %x", p, full, again)
+		}
+		if p <= 0 && full != 0 {
+			t.Fatalf("p=0 produced successes: %x", full)
+		}
+		if p >= 1 && full != ^uint64(0) {
+			t.Fatalf("p=1 produced failures: %x", full)
+		}
+		for l := uint(0); l < LaneWidth; l++ {
+			solo := laneBernoulli(&tr, gseed, a, b, p, uint64(1)<<l)
+			if solo>>l&1 != full>>l&1 {
+				t.Fatalf("p=%v lane %d: solo bit %d != full-mask bit %d",
+					p, l, solo>>l&1, full>>l&1)
+			}
+		}
+	}
+}
+
+// TestLaneBernoulliAcceptanceRate checks the drawn masks hit the
+// target probability: the bit ladder compares each lane's uniform
+// against p's exact binary expansion, so the empirical rate over many
+// trials must sit within a generous normal CI of p.
+func TestLaneBernoulliAcceptanceRate(t *testing.T) {
+	var tr Stream
+	const trials = 4000 // × 64 lanes
+	for _, p := range []float64{0.25, 0.317, 0.5, 0.9, 0.0625, 0.993} {
+		wins := 0
+		for a := 0; a < trials; a++ {
+			w := laneBernoulli(&tr, 11, int64(a), 0, p, ^uint64(0))
+			for ; w != 0; w &= w - 1 {
+				wins++
+			}
+		}
+		n := float64(trials * LaneWidth)
+		got := float64(wins) / n
+		tol := 5 * math.Sqrt(p*(1-p)/n)
+		if math.Abs(got-p) > tol {
+			t.Errorf("p=%v: acceptance rate %v (tol %v)", p, got, tol)
+		}
+	}
+}
+
+// TestLaneObliviousMatchesScalarRemapExactly is the oblivious lane
+// engine's exactness bar: identical stats.Summary and incomplete
+// count to the scalar compiled walk replayed under the lane stream
+// remap, for rep counts around and away from lane-width multiples, at
+// workers 1/4/GOMAXPROCS.
+func TestLaneObliviousMatchesScalarRemapExactly(t *testing.T) {
+	in, o := chainsFixture()
+	const cap, seed = 100000, 23
+	for _, reps := range []int{1, 63, 64, 65, 256, 300, 1000} {
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			var engL, engO EngineUsed
+			sL := summaryOf(t, in, o, reps, cap, seed, workers, BitParallelOn, &engL)
+			sO := summaryOf(t, in, o, reps, cap, seed, workers, bitParallelOracle, &engO)
+			if engL.Engine != EngineLane || engL.Lanes != LaneWidth {
+				t.Fatalf("reps %d workers %d: lane engine reported %+v", reps, workers, engL)
+			}
+			if engO.Engine != EngineLane {
+				t.Fatalf("oracle mode reported %+v", engO)
+			}
+			if sL != sO {
+				t.Errorf("reps %d workers %d: lane %+v != oracle %+v", reps, workers, sL, sO)
+			}
+		}
+	}
+}
+
+// summaryOf runs EstimateParallelInfo under the given lane mode and
+// returns the summary and incomplete count as one comparable value.
+func summaryOf(t *testing.T, in *model.Instance, pol sched.Policy, reps, cap int, seed int64, workers int, mode BitParallelMode, eng *EngineUsed) [2]interface{} {
+	t.Helper()
+	var out [2]interface{}
+	withMode(mode, func() {
+		sum, inc, e := EstimateParallelInfo(in, pol, reps, cap, seed, workers)
+		out[0], out[1] = sum, inc
+		*eng = e
+	})
+	return out
+}
+
+// TestLaneAdaptiveMatchesScalarRemapExactly mirrors the oblivious
+// bar for the adaptive table walk, across every stationary-policy
+// family of the compiled adaptive engine.
+func TestLaneAdaptiveMatchesScalarRemapExactly(t *testing.T) {
+	const cap, seed = 100000, 29
+	for name, tc := range adaptiveParityCases(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, reps := range []int{64, 65, 500} {
+				for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+					var engL, engO EngineUsed
+					sL := summaryOf(t, tc.in, tc.pol, reps, cap, seed, workers, BitParallelOn, &engL)
+					sO := summaryOf(t, tc.in, tc.pol, reps, cap, seed, workers, bitParallelOracle, &engO)
+					if engL.Engine != EngineLaneAdaptive || engL.Lanes != LaneWidth {
+						t.Fatalf("reps %d: lane engine reported %+v", reps, engL)
+					}
+					if sL != sO {
+						t.Errorf("reps %d workers %d: lane %+v != oracle %+v", reps, workers, sL, sO)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLaneTailContinuation forces lanes past a short prefix so the
+// lane engine's per-lane tail continuation runs, and pins it to the
+// oracle (whose tail runs through the scalar walk's continueTail).
+func TestLaneTailContinuation(t *testing.T) {
+	in, o := chainsFixture()
+	short := &sched.Oblivious{M: o.M, Steps: o.Steps[:2], Tail: o.Tail}
+	const reps, cap, seed = 500, 100000, 41
+	var engL, engO EngineUsed
+	sL := summaryOf(t, in, short, reps, cap, seed, 1, BitParallelOn, &engL)
+	sO := summaryOf(t, in, short, reps, cap, seed, 1, bitParallelOracle, &engO)
+	if engL.Engine != EngineLane {
+		t.Fatalf("engine %+v", engL)
+	}
+	if sL != sO {
+		t.Errorf("tail continuation: lane %+v != oracle %+v", sL, sO)
+	}
+	if sL[1].(int) != 0 {
+		t.Errorf("tail continuation left %d incomplete runs", sL[1].(int))
+	}
+}
+
+// TestLaneParityFuzz hammers the lane/oracle equality with randomized
+// instances: random dags and probability matrices with forced p=0 and
+// p=1 entries, single-job instances, rep counts not divisible by 64,
+// capped horizons that strand unfinished runs, and both engine
+// families. Run under -race in CI's engine group.
+func TestLaneParityFuzz(t *testing.T) {
+	rng := rand.New(NewStream(SeedFor(3, "lane-fuzz")))
+	laneRuns := 0
+	for iter := 0; iter < 60; iter++ {
+		n := 1 + rng.Intn(12)
+		m := 1 + rng.Intn(4)
+		in := model.New(n, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				switch rng.Intn(8) {
+				case 0:
+					in.SetAt(i, j, 0) // forced certain-failure entry
+				case 1:
+					in.SetAt(i, j, 1) // forced certain-success entry
+				default:
+					in.SetAt(i, j, rng.Float64())
+				}
+			}
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.25 {
+					in.Prec.MustEdge(u, v)
+				}
+			}
+		}
+		reps := 1 + rng.Intn(200)
+		cap := []int{5, 50, 100000}[rng.Intn(3)]
+		seed := rng.Int63()
+		workers := 1 + rng.Intn(4)
+
+		var pol sched.Policy
+		if iter%2 == 0 {
+			// Oblivious: random prefix over a topo round-robin tail.
+			order, err := in.Prec.TopoOrder()
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps := make([]sched.Assignment, 1+rng.Intn(3*n))
+			for s := range steps {
+				a := make(sched.Assignment, m)
+				for i := range a {
+					if rng.Intn(5) == 0 {
+						a[i] = sched.Idle
+					} else {
+						a[i] = rng.Intn(n)
+					}
+				}
+				steps[s] = a
+			}
+			pol = &sched.Oblivious{M: m, Steps: steps, Tail: &sched.TopoRoundRobin{M: m, Order: order}}
+		} else {
+			pol = &core.AdaptivePolicy{In: in}
+		}
+
+		var engL, engO EngineUsed
+		sL := summaryOf(t, in, pol, reps, cap, seed, workers, BitParallelOn, &engL)
+		sO := summaryOf(t, in, pol, reps, cap, seed, workers, bitParallelOracle, &engO)
+		if engL.Engine != engO.Engine {
+			t.Fatalf("iter %d: engines diverged: %q vs %q", iter, engL.Engine, engO.Engine)
+		}
+		if engL.Lanes == LaneWidth {
+			laneRuns++
+		}
+		if sL != sO {
+			t.Errorf("iter %d (n=%d m=%d reps=%d cap=%d engine=%s): lane %+v != oracle %+v",
+				iter, n, m, reps, cap, engL.Engine, sL, sO)
+		}
+	}
+	if laneRuns < 30 {
+		t.Errorf("only %d/60 fuzz cases exercised the lane engine; fixture drifted", laneRuns)
+	}
+}
+
+// TestLaneAutoDispatchByRepCount pins the BitParallel knob semantics:
+// Auto switches on the BitParallelAutoMinReps floor, On forces lanes
+// at any rep count, Off always runs the scalar engines.
+func TestLaneAutoDispatchByRepCount(t *testing.T) {
+	in, o := chainsFixture()
+	check := func(mode BitParallelMode, reps int, want string, wantLanes int) {
+		t.Helper()
+		withMode(mode, func() {
+			_, _, eng := EstimateInfo(in, o, reps, 100000, 3)
+			if eng.Engine != want || eng.Lanes != wantLanes {
+				t.Errorf("mode %d reps %d: engine %+v, want %s/lanes=%d", mode, reps, eng, want, wantLanes)
+			}
+		})
+	}
+	check(BitParallelAuto, BitParallelAutoMinReps-1, EngineCompiled, 0)
+	check(BitParallelAuto, BitParallelAutoMinReps, EngineLane, LaneWidth)
+	check(BitParallelOff, 10000, EngineCompiled, 0)
+	check(BitParallelOn, 10, EngineLane, LaneWidth)
+
+	// The generic engine never grows lanes, whatever the knob says.
+	generic := sched.PolicyFunc(func(st *sched.State) sched.Assignment { return o.At(st.Step) })
+	withMode(BitParallelOn, func() {
+		_, _, eng := EstimateInfo(in, generic, 1000, 100000, 3)
+		if eng.Engine != EngineGeneric || eng.Lanes != 0 {
+			t.Errorf("generic policy dispatched to %+v", eng)
+		}
+	})
+}
+
+// TestLaneDemotionThresholdInvariance: the adaptive divergence
+// threshold is a pure performance knob. Because the demoted scalar
+// walk consumes the same position-keyed trials as the lockstep walk,
+// every threshold — including demote-immediately — must produce
+// identical results.
+func TestLaneDemotionThresholdInvariance(t *testing.T) {
+	in := workload.Independent(workload.Config{Jobs: 10, Machines: 3, Seed: 42})
+	pol := &core.AdaptivePolicy{In: in}
+	const reps, cap, seed = 700, 100000, 53
+	old := laneAdaptDemoteStates
+	defer func() { laneAdaptDemoteStates = old }()
+
+	var want [2]interface{}
+	for i, thr := range []int{0, 1, 4, 16, LaneWidth} {
+		laneAdaptDemoteStates = thr
+		var eng EngineUsed
+		got := summaryOf(t, in, pol, reps, cap, seed, 1, BitParallelOn, &eng)
+		if eng.Engine != EngineLaneAdaptive {
+			t.Fatalf("threshold %d: engine %+v", thr, eng)
+		}
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Errorf("threshold %d changed results: %+v vs %+v", thr, got, want)
+		}
+	}
+}
+
+// TestLaneDeterministicAcrossConcurrency: the lane engine inherits
+// the estimators' central reproducibility contract — byte-identical
+// summaries at every concurrency — because chunk boundaries stay
+// group-aligned and group draws depend only on (seed, group).
+func TestLaneDeterministicAcrossConcurrency(t *testing.T) {
+	defer SetBitParallel(BitParallelOn)()
+	in, o := chainsFixture()
+	want, wantInc, eng := EstimateParallelInfo(in, o, 1500, 100000, 9, 1)
+	if eng.Engine != EngineLane {
+		t.Fatalf("engine %+v", eng)
+	}
+	for _, conc := range []int{4, runtime.GOMAXPROCS(0), 0} {
+		got, gotInc, _ := EstimateParallelInfo(in, o, 1500, 100000, 9, conc)
+		if got != want || gotInc != wantInc {
+			t.Errorf("concurrency %d: %+v/%d differs from sequential %+v/%d",
+				conc, got, gotInc, want, wantInc)
+		}
+	}
+}
+
+// TestLaneGroupAllocationFree proves a lane group walk allocates
+// nothing once the worker exists (prefix-resident groups).
+func TestLaneGroupAllocationFree(t *testing.T) {
+	in, o := chainsFixture()
+	c := compileOblivious(in, o)
+	if c == nil {
+		t.Fatal("compile failed")
+	}
+	w := newLaneOblivRunner(c, 7)
+	w.runGroup(0, LaneWidth, 100000)
+	if w.tailR != nil {
+		t.Fatal("fixture unexpectedly hit the tail; enlarge the prefix")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		w.runGroup(1, LaneWidth, 100000)
+	})
+	if allocs != 0 {
+		t.Errorf("oblivious lane group: %v allocs/run, want 0", allocs)
+	}
+
+	ain := workload.Independent(workload.Config{Jobs: 10, Machines: 3, Seed: 42})
+	apol := &core.AdaptivePolicy{In: ain}
+	ac := compileAdaptive(ain, apol, adaptiveCompileBudget)
+	if ac == nil {
+		t.Fatal("adaptive compile failed")
+	}
+	aw := newLaneAdaptRunner(ac, 7)
+	aw.runGroup(0, LaneWidth, 100000)
+	allocs = testing.AllocsPerRun(50, func() {
+		aw.runGroup(1, LaneWidth, 100000)
+	})
+	if allocs != 0 {
+		t.Errorf("adaptive lane group: %v allocs/run, want 0", allocs)
+	}
+}

@@ -126,10 +126,50 @@ func (c *compiledOblivious) newRunner() *oblivRunner {
 	}
 }
 
+// oblivDraw abstracts where the compiled walk's completion trials
+// come from: the estimator's per-rep stream (seqDraw) or one lane of
+// the bit-parallel engine's stream remap (remapDraw), which is what
+// lets this walk double as the lane engine's exactness oracle. A type
+// parameter rather than an interface value keeps the per-trial call
+// devirtualized and the repetition allocation-free.
+type oblivDraw interface {
+	trial(k int, succ float64) bool
+	tailRand() Rand
+}
+
+// seqDraw is the standard source: one Float64 per trial, in walk
+// order, from the repetition's (seed, rep) stream; the tail continues
+// on the same stream.
+type seqDraw struct{ rng Rand }
+
+func (d seqDraw) trial(_ int, succ float64) bool { return d.rng.Float64() < succ }
+func (d seqDraw) tailRand() Rand                 { return d.rng }
+
+// remapDraw is one lane of the lane stream remap (see lane.go):
+// occurrence k's trial draws from the pinned position (k, 0) of the
+// group's trial stream, and the tail continues on the rep's pinned
+// tail stream.
+type remapDraw struct {
+	tr    *Stream
+	tail  *Stream
+	gseed int64
+	lane  uint
+}
+
+func (d remapDraw) trial(k int, succ float64) bool {
+	return laneBernoulli(d.tr, d.gseed, int64(k), 0, succ, uint64(1)<<d.lane)>>d.lane&1 == 1
+}
+func (d remapDraw) tailRand() Rand { return d.tail }
+
 // run simulates one repetition. Draw-for-draw it performs the same
 // completion trials as the step engine, only ordered by job instead
 // of by step, so makespan and mass distributions are identical.
 func (r *oblivRunner) run(maxSteps int, rng Rand) (int, bool) {
+	return oblivRun(r, maxSteps, seqDraw{rng: rng})
+}
+
+// oblivRun is the compiled walk over an arbitrary draw source.
+func oblivRun[D oblivDraw](r *oblivRunner, maxSteps int, d D) (int, bool) {
 	c := r.c
 	in := c.in
 	cap := c.prefixLen
@@ -179,7 +219,7 @@ func (r *oblivRunner) run(maxSteps int, rng Rand) (int, bool) {
 				break
 			}
 			r.mass[j] += c.mass[k]
-			if rng.Float64() < c.succ[k] {
+			if d.trial(k, c.succ[k]) {
 				r.comp[j] = int32(t)
 				if t > maxComp {
 					maxComp = t
@@ -198,7 +238,7 @@ func (r *oblivRunner) run(maxSteps int, rng Rand) (int, bool) {
 	if maxSteps <= c.prefixLen {
 		return maxSteps, false
 	}
-	return r.continueTail(unfinished, maxSteps, rng)
+	return r.continueTail(unfinished, maxSteps, d.tailRand())
 }
 
 // continueTail seeds the generic step engine with the post-prefix

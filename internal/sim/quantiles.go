@@ -33,3 +33,54 @@ func MakespanQuantiles(in *model.Instance, pol sched.Policy, reps, maxSteps int,
 	}
 	return out, xs
 }
+
+// MakespanP2Quantiles estimates the requested quantiles in O(1)
+// memory with streaming P² estimators (stats.P2Quantile) instead of
+// materializing the sample. P² is order-sensitive and does not merge,
+// so the repetitions run sequentially; under the lane engine the
+// makespans of each 64-rep group drain into the estimators in lane
+// order — which is repetition order under the lane stream remap, the
+// exact order the scalar remap oracle produces them one at a time —
+// so the estimate depends only on (policy, reps, maxSteps, seed) and
+// the engine's stream schedule, never on how samples were packed into
+// words.
+func MakespanP2Quantiles(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int64, qs []float64) []float64 {
+	if reps <= 0 {
+		panic("sim: reps must be positive")
+	}
+	ps := make([]*stats.P2Quantile, len(qs))
+	for k, q := range qs {
+		ps[k] = stats.NewP2Quantile(q)
+	}
+	est := newEstimator(in, pol, reps)
+	if est.lane {
+		w := est.newLaneWorker(seed)
+		for glo := 0; glo < reps; glo += LaneWidth {
+			cnt := reps - glo
+			if cnt > LaneWidth {
+				cnt = LaneWidth
+			}
+			mk, _ := w.runGroup(int64(glo/LaneWidth), cnt, maxSteps)
+			for l := 0; l < cnt; l++ {
+				for _, p := range ps {
+					p.Add(float64(mk[l]))
+				}
+			}
+		}
+	} else {
+		w := est.newWorker()
+		var rng Stream
+		for r := 0; r < reps; r++ {
+			rng.Reseed(seed, int64(r))
+			makespan, _ := w.run(maxSteps, &rng)
+			for _, p := range ps {
+				p.Add(float64(makespan))
+			}
+		}
+	}
+	out := make([]float64, len(qs))
+	for k, p := range ps {
+		out[k] = p.Value()
+	}
+	return out
+}

@@ -39,3 +39,49 @@ func TestMakespanQuantiles(t *testing.T) {
 		t.Errorf("sample mean %v != Estimate mean %v (seed derivation drifted)", mean, sum.Mean)
 	}
 }
+
+// TestMakespanP2QuantilesLaneDrainOrder is the P²-under-lanes
+// contract: P² is order-sensitive, so when samples arrive 64 at a
+// time from the lane engine, the drain order within each word must be
+// lane order — the pinned scalar remap's repetition order. Feeding
+// the estimators from the lane engine and from the one-lane-at-a-time
+// oracle must therefore agree to the last bit, including with a
+// partial final group.
+func TestMakespanP2QuantilesLaneDrainOrder(t *testing.T) {
+	in, o := chainsFixture()
+	const cap, seed = 100000, 61
+	qs := []float64{0.5, 0.9, 0.99}
+	for _, reps := range []int{100, 1000} {
+		var lane, oracle []float64
+		withMode(BitParallelOn, func() { lane = MakespanP2Quantiles(in, o, reps, cap, seed, qs) })
+		withMode(bitParallelOracle, func() { oracle = MakespanP2Quantiles(in, o, reps, cap, seed, qs) })
+		for k := range qs {
+			if lane[k] != oracle[k] {
+				t.Errorf("reps %d q%v: lane %v != oracle %v (drain order drifted)",
+					reps, qs[k], lane[k], oracle[k])
+			}
+		}
+		// Sanity: the estimates sit inside the sample's support.
+		var off []float64
+		withMode(BitParallelOff, func() { off = MakespanP2Quantiles(in, o, reps, cap, seed, qs) })
+		for k := 1; k < len(qs); k++ {
+			if lane[k] < lane[k-1] || off[k] < off[k-1] {
+				t.Errorf("reps %d: non-monotone quantiles lane=%v scalar=%v", reps, lane, off)
+			}
+		}
+	}
+
+	// The scalar path keeps matching MakespanQuantiles' sample order.
+	withMode(BitParallelOff, func() {
+		exact, xs := MakespanQuantiles(in, o, 400, cap, seed, qs)
+		p2 := MakespanP2Quantiles(in, o, 400, cap, seed, qs)
+		if len(xs) != 400 {
+			t.Fatalf("sample size %d", len(xs))
+		}
+		for k := range qs {
+			if math.Abs(p2[k]-exact[k]) > 3+0.1*exact[k] {
+				t.Errorf("q%v: P² %v far from exact %v", qs[k], p2[k], exact[k])
+			}
+		}
+	})
+}

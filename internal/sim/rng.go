@@ -34,6 +34,20 @@ func (s *Stream) Reseed(seed, rep int64) {
 	s.s = uint64(seed)*0x9E3779B97F4A7C15 + uint64(rep)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
 }
 
+// ReseedTrial positions the stream at the (a, b)-indexed trial of the
+// schedule rooted at seed. It extends Reseed with a second coordinate
+// (a third independent odd multiplier), so the bit-parallel lane
+// engine can key every completion trial by its position in the
+// schedule — (occurrence index, 0) for the compiled oblivious walk,
+// (step, job) for the adaptive table walk — rather than by draw
+// order. Position-keying is what makes the lane-engine stream remap
+// reproducible: skipping a trial (a lane already finished the job)
+// costs nothing and never shifts any other trial's randomness.
+// ReseedTrial(seed, a, 0) coincides with Reseed(seed, a).
+func (s *Stream) ReseedTrial(seed, a, b int64) {
+	s.s = uint64(seed)*0x9E3779B97F4A7C15 + uint64(a)*0xBF58476D1CE4E5B9 + uint64(b)*0xD1342543DE82EF95 + 0x94D049BB133111EB
+}
+
 // Uint64 returns the next 64 random bits.
 func (s *Stream) Uint64() uint64 {
 	s.s += 0x9E3779B97F4A7C15

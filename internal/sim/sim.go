@@ -19,6 +19,9 @@
 // assignment digest per unfinished-set key and replay repetitions as
 // table-driven walks (see adaptive.go), falling back transparently to
 // the step engine otherwise; EstimateInfo reports which engine ran.
+// On top of either compiled form, large-reps calls run 64 repetitions
+// per machine word with the bit-parallel lane engine (see lane.go and
+// the BitParallel knob), under a pinned SeedFor-derived stream remap.
 //
 // Estimators derive repetition r's RNG stream from (seed, r) with a
 // SplitMix64 reseed (see rng.go) and aggregate makespans into
@@ -76,11 +79,14 @@ func (r *Runner) massView() []float64 { return r.rs.mass }
 
 // Engine names for EngineUsed.Engine. The compiled oblivious engine
 // keeps the short name "compiled" that BENCH_sim.json has carried
-// since the engine landed.
+// since the engine landed; the "-lane" suffix marks the bit-parallel
+// 64-repetitions-per-word forms (see lane.go).
 const (
 	EngineGeneric          = "generic"
 	EngineCompiled         = "compiled"
 	EngineCompiledAdaptive = "compiled-adaptive"
+	EngineLane             = "compiled-lane"
+	EngineLaneAdaptive     = "compiled-adaptive-lane"
 )
 
 // EngineUsed reports which engine an estimation call actually ran —
@@ -89,8 +95,12 @@ const (
 // just in wall-clock time.
 type EngineUsed struct {
 	// Engine is EngineCompiled (event-wise oblivious), the
-	// EngineCompiledAdaptive transition-table walk, or EngineGeneric.
+	// EngineCompiledAdaptive transition-table walk, their bit-parallel
+	// lane forms EngineLane / EngineLaneAdaptive, or EngineGeneric.
 	Engine string
+	// Lanes is the lockstep width of the bit-parallel engine (64), or
+	// 0 for the scalar engines.
+	Lanes int
 	// Workers is the effective fan-out after the parallelizability
 	// check (1 = sequential, also for observer policies that silently
 	// lose their requested concurrency).
@@ -115,6 +125,12 @@ type estimator struct {
 	compiled *compiledOblivious
 	adaptive *compiledAdaptive
 	engine   EngineUsed
+	// lane selects the bit-parallel lockstep form of the compiled
+	// engine for the chunked estimators (see lane.go and maybeLane);
+	// oracle additionally replays it one lane at a time on the scalar
+	// walk (the parity tests' exactness oracle).
+	lane   bool
+	oracle bool
 }
 
 // UsesCompiledEngine reports whether the estimators will run pol on
@@ -151,6 +167,7 @@ func newEstimator(in *model.Instance, pol sched.Policy, reps int) *estimator {
 		if e.compiled != nil {
 			e.engine.Engine = EngineCompiled
 		}
+		e.maybeLane(reps)
 		return e
 	}
 	if mpol, ok := pol.(sched.Memoizable); ok {
@@ -165,8 +182,38 @@ func newEstimator(in *model.Instance, pol sched.Policy, reps int) *estimator {
 			e.engine.States = len(e.adaptive.states)
 			e.engine.TableBuildMS = float64(time.Since(start).Nanoseconds()) / 1e6
 		}
+		e.maybeLane(reps)
 	}
 	return e
+}
+
+// maybeLane upgrades a compiled engine to its bit-parallel lane form
+// per the BitParallel knob and the auto-dispatch repetition floor.
+// Only the chunked estimators act on the flag (through
+// newLaneWorker); callers that drive repetitions one at a time
+// (MassWithinHorizon, MakespanQuantiles via newWorker) always run the
+// scalar engines.
+func (e *estimator) maybeLane(reps int) {
+	if e.compiled == nil && e.adaptive == nil {
+		return
+	}
+	switch bitParallelMode {
+	case BitParallelOff:
+		return
+	case BitParallelAuto:
+		if reps < BitParallelAutoMinReps {
+			return
+		}
+	case bitParallelOracle:
+		e.oracle = true
+	}
+	e.lane = true
+	e.engine.Lanes = LaneWidth
+	if e.compiled != nil {
+		e.engine.Engine = EngineLane
+	} else {
+		e.engine.Engine = EngineLaneAdaptive
+	}
 }
 
 func (e *estimator) newWorker() repRunner {
@@ -185,11 +232,17 @@ func (e *estimator) newWorker() repRunner {
 // against the O(reps/estimateChunk) slice of accumulators.
 const estimateChunk = 256
 
+// Chunk boundaries must stay lane-group aligned so a 64-rep lane
+// group never spans two accumulator chunks (only the final, possibly
+// partial group ends mid-width). Compile-time assert.
+var _ [estimateChunk % LaneWidth]struct{} = [0]struct{}{}
+
 // estimateChunked runs reps repetitions on the given number of
-// workers. Repetition r draws from stream (seed, r) and lands in
-// accumulator r/estimateChunk regardless of which worker ran it, and
-// chunks merge in index order, so the result is bit-identical for
-// every worker count.
+// workers. Repetition r draws from stream (seed, r) — or, under the
+// lane engine, from the group-g lane streams of the remap documented
+// in lane.go — and lands in accumulator r/estimateChunk regardless of
+// which worker ran it, and chunks merge in index order, so the result
+// is bit-identical for every worker count.
 func estimateChunked(in *model.Instance, pol sched.Policy, reps, maxSteps int, seed int64, workers int) (stats.Summary, int, EngineUsed) {
 	if reps <= 0 {
 		panic("sim: reps must be positive")
@@ -198,18 +251,48 @@ func estimateChunked(in *model.Instance, pol sched.Policy, reps, maxSteps int, s
 	nchunks := (reps + estimateChunk - 1) / estimateChunk
 	accs := make([]stats.Accumulator, nchunks)
 	incs := make([]int, nchunks)
-	runChunk := func(w repRunner, rng *Stream, c int) {
-		lo, hi := c*estimateChunk, (c+1)*estimateChunk
-		if hi > reps {
-			hi = reps
+	// newChunkLoop builds one worker's engine and returns its
+	// chunk-execution func. Lane workers fold each group's makespans
+	// in lane order (= repetition order under the remap).
+	newChunkLoop := func() func(c int) {
+		if est.lane {
+			w := est.newLaneWorker(seed)
+			return func(c int) {
+				lo, hi := c*estimateChunk, (c+1)*estimateChunk
+				if hi > reps {
+					hi = reps
+				}
+				acc := &accs[c]
+				for glo := lo; glo < hi; glo += LaneWidth {
+					cnt := hi - glo
+					if cnt > LaneWidth {
+						cnt = LaneWidth
+					}
+					mk, completed := w.runGroup(int64(glo/LaneWidth), cnt, maxSteps)
+					for l := 0; l < cnt; l++ {
+						acc.Add(float64(mk[l]))
+						if completed>>uint(l)&1 == 0 {
+							incs[c]++
+						}
+					}
+				}
+			}
 		}
-		acc := &accs[c]
-		for r := lo; r < hi; r++ {
-			rng.Reseed(seed, int64(r))
-			makespan, completed := w.run(maxSteps, rng)
-			acc.Add(float64(makespan))
-			if !completed {
-				incs[c]++
+		w := est.newWorker()
+		var rng Stream
+		return func(c int) {
+			lo, hi := c*estimateChunk, (c+1)*estimateChunk
+			if hi > reps {
+				hi = reps
+			}
+			acc := &accs[c]
+			for r := lo; r < hi; r++ {
+				rng.Reseed(seed, int64(r))
+				makespan, completed := w.run(maxSteps, &rng)
+				acc.Add(float64(makespan))
+				if !completed {
+					incs[c]++
+				}
 			}
 		}
 	}
@@ -217,10 +300,9 @@ func estimateChunked(in *model.Instance, pol sched.Policy, reps, maxSteps int, s
 		workers = nchunks
 	}
 	if workers <= 1 {
-		w := est.newWorker()
-		var rng Stream
+		runChunk := newChunkLoop()
 		for c := 0; c < nchunks; c++ {
-			runChunk(w, &rng, c)
+			runChunk(c)
 		}
 	} else {
 		next := make(chan int)
@@ -228,10 +310,9 @@ func estimateChunked(in *model.Instance, pol sched.Policy, reps, maxSteps int, s
 		for g := 0; g < workers; g++ {
 			go func() {
 				defer func() { done <- struct{}{} }()
-				w := est.newWorker()
-				var rng Stream
+				runChunk := newChunkLoop()
 				for c := range next {
-					runChunk(w, &rng, c)
+					runChunk(c)
 				}
 			}()
 		}
