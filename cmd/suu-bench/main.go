@@ -29,6 +29,12 @@
 //	                          # simplex vs dense tableau) and print
 //	                          # the comparison table; with -json the
 //	                          # record holds just the lp_bench section
+//	suu-bench -exact          # benchmark ONLY the exact solver (the
+//	                          # layered value iteration per family,
+//	                          # exhaustive-DP oracle side by side where
+//	                          # feasible) and print the comparison
+//	                          # table; with -json the record holds just
+//	                          # the exact_solver section
 //
 // Distributed sweeps (see README "Distributed sweeps"): a shardable
 // grid table (T13, T14, the T10 solver sweep, the A2/A5 ablation
@@ -68,13 +74,14 @@ import (
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "smaller sweeps and repetition counts")
-		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		workers  = flag.Int("workers", 0, "grid-harness worker pool size (0 = GOMAXPROCS, 1 = sequential; tables are identical at any value)")
-		jsonPath = flag.String("json", "", "write engine benchmark results to this file (e.g. BENCH_sim.json)")
-		lpOnly   = flag.Bool("lp", false, "benchmark the LP layer in isolation and exit (skips the experiment drivers)")
-		commit   = flag.String("commit", os.Getenv("GITHUB_SHA"), "commit SHA to embed in the -json perf record (defaults to $GITHUB_SHA)")
+		quick     = flag.Bool("quick", false, "smaller sweeps and repetition counts")
+		only      = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "grid-harness worker pool size (0 = GOMAXPROCS, 1 = sequential; tables are identical at any value)")
+		jsonPath  = flag.String("json", "", "write engine benchmark results to this file (e.g. BENCH_sim.json)")
+		lpOnly    = flag.Bool("lp", false, "benchmark the LP layer in isolation and exit (skips the experiment drivers)")
+		exactOnly = flag.Bool("exact", false, "benchmark the exact solver in isolation and exit (skips the experiment drivers)")
+		commit    = flag.String("commit", os.Getenv("GITHUB_SHA"), "commit SHA to embed in the -json perf record (defaults to $GITHUB_SHA)")
 
 		gridID    = flag.String("grid", "", "run one shardable grid table (T13, T14, T10, A2, A5) through the cell-range path")
 		cellsFlag = flag.String("cells", "", "with -grid: half-open cell range a:b to execute (default: all cells)")
@@ -100,6 +107,29 @@ func main() {
 	}
 	if *cellsFlag != "" || *shardFlag != "" || *jsonCells != "" {
 		log.Fatal("-cells/-shard/-json-cells need -grid (or -merge for -json-cells)")
+	}
+
+	if *lpOnly && *exactOnly {
+		log.Fatal("-lp and -exact are mutually exclusive")
+	}
+	if *exactOnly {
+		start := time.Now()
+		rows := exp.ExactSolverBenchmarks(cfg)
+		fmt.Println(exp.ExactSolverTable(rows).Markdown())
+		fmt.Printf("_exact-solver benchmarks completed in %.1fs_\n", time.Since(start).Seconds())
+		if *jsonPath != "" {
+			file := exp.NewSimBenchFile(cfg)
+			file.Commit = *commit
+			file.ExactSolver = rows
+			out, err := exp.WriteSimBenchJSON(file)
+			if err != nil {
+				log.Fatalf("marshal exact-solver benchmarks: %v", err)
+			}
+			if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+				log.Fatalf("write %s: %v", *jsonPath, err)
+			}
+		}
+		return
 	}
 
 	if *lpOnly {

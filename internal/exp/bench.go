@@ -106,7 +106,13 @@ type AdaptiveEngineBench struct {
 	CompiledRepsPerSec float64 `json:"compiled_reps_per_sec"`
 	GenericRepsPerSec  float64 `json:"generic_reps_per_sec"`
 	Speedup            float64 `json:"speedup"`
-	Error              string  `json:"error,omitempty"`
+	// UnsplicedRepsPerSec is the same compiled run with the
+	// terminal-layer splice disabled (every ≤2-unfinished endgame walked
+	// step by step); SpliceSpeedup = Compiled/Unspliced records what the
+	// closed-form tails buy on this family.
+	UnsplicedRepsPerSec float64 `json:"unspliced_reps_per_sec,omitempty"`
+	SpliceSpeedup       float64 `json:"splice_speedup,omitempty"`
+	Error               string  `json:"error,omitempty"`
 }
 
 // BitParallelEngineBench is one row of the bitparallel_engine
@@ -137,7 +143,12 @@ type BitParallelEngineBench struct {
 	// LaneNsPerStep normalizes the lane run by simulated machine-steps.
 	LaneNsPerStep float64 `json:"lane_ns_per_step"`
 	Speedup       float64 `json:"speedup"`
-	Error         string  `json:"error,omitempty"`
+	// UnsplicedLaneRepsPerSec is the lane run with the terminal-layer
+	// splice disabled; SpliceSpeedup = Lane/UnsplicedLane. Families
+	// whose tail shape the splice cannot close record ≈1.
+	UnsplicedLaneRepsPerSec float64 `json:"unspliced_lane_reps_per_sec,omitempty"`
+	SpliceSpeedup           float64 `json:"splice_speedup,omitempty"`
+	Error                   string  `json:"error,omitempty"`
 }
 
 // SimBenchFile is the BENCH_sim.json document.
@@ -164,6 +175,10 @@ type SimBenchFile struct {
 	// BitParallelEngine records the 64-lane bit-parallel engine vs the
 	// scalar compiled engines on the same policies.
 	BitParallelEngine []BitParallelEngineBench `json:"bitparallel_engine,omitempty"`
+	// ExactSolver records the layered value iteration's wall-clock and
+	// state-space shape per family, with the exhaustive-DP oracle timed
+	// side by side where it is feasible.
+	ExactSolver []ExactSolverBench `json:"exact_solver,omitempty"`
 	// Grid records the scenario-grid harness's cell throughput and
 	// parallel speedup.
 	Grid *GridHarnessBench `json:"grid_harness,omitempty"`
@@ -262,6 +277,7 @@ func SimBenchmarks(cfg Config) SimBenchFile {
 	file.SolverBuilds = SolverBuildBenchmarks(cfg)
 	file.AdaptiveEngine = AdaptiveEngineBenchmarks(cfg)
 	file.BitParallelEngine = BitParallelEngineBenchmarks(cfg)
+	file.ExactSolver = ExactSolverBenchmarks(cfg)
 	file.LPBench = LPBenchmarks(cfg)
 	file.Grid = GridHarnessBenchmark(cfg)
 	return file
@@ -318,11 +334,24 @@ func AdaptiveEngineBenchmarks(cfg Config) []AdaptiveEngineBench {
 		}
 		row.States = eng.States
 		row.TableBuildMS = eng.TableBuildMS
+		// Same compiled walk with the terminal-layer splice off, so the
+		// record carries the closed-form endgame's before/after.
+		restore := sim.SetTerminalSplice(false)
+		start = time.Now()
+		sim.EstimateInfo(bc.in, pol, compiledReps, 5_000_000, cfg.Seed+53)
+		unsplicedSec := time.Since(start).Seconds()
+		restore()
 		start = time.Now()
 		sim.Estimate(bc.in, sched.PolicyFunc(pol.Assign), genericReps, 5_000_000, cfg.Seed+53)
 		genericSec := time.Since(start).Seconds()
 		if compiledSec > 0 {
 			row.CompiledRepsPerSec = float64(compiledReps) / compiledSec
+		}
+		if unsplicedSec > 0 {
+			row.UnsplicedRepsPerSec = float64(compiledReps) / unsplicedSec
+		}
+		if row.UnsplicedRepsPerSec > 0 {
+			row.SpliceSpeedup = row.CompiledRepsPerSec / row.UnsplicedRepsPerSec
 		}
 		if genericSec > 0 {
 			row.GenericRepsPerSec = float64(genericReps) / genericSec
@@ -430,6 +459,17 @@ func BitParallelEngineBenchmarks(cfg Config) []BitParallelEngineBench {
 		}
 		if row.ScalarRepsPerSec > 0 {
 			row.Speedup = row.LaneRepsPerSec / row.ScalarRepsPerSec
+		}
+		// Lane run again with the terminal-layer splice off: the
+		// before/after of the closed-form endgame on this family.
+		restore := sim.SetTerminalSplice(false)
+		unsplicedSec, _, _ := bestOf3(sim.BitParallelOn)
+		restore()
+		if unsplicedSec > 0 {
+			row.UnsplicedLaneRepsPerSec = float64(reps) / unsplicedSec
+		}
+		if row.UnsplicedLaneRepsPerSec > 0 {
+			row.SpliceSpeedup = row.LaneRepsPerSec / row.UnsplicedLaneRepsPerSec
 		}
 		out = append(out, row)
 	}

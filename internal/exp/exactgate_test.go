@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"suu/internal/opt"
+	"suu/internal/sim"
+	"suu/internal/workload"
+)
+
+// TestExactSolverSpeedupSmoke is the CI bench-smoke assertion for the
+// exact solver: the layered value iteration must solve independent
+// 12×4 (4096 closed states, far beyond the old DP's comfort zone) at
+// least 10× faster than the exhaustive Malewicz-style DP on the same
+// instance, agreeing on the optimum, and must clear the n=20 chains
+// frontier (m=4) in under five seconds. It only runs when
+// BENCH_SMOKE=1 — wall-clock ratios are meaningless under the race
+// detector or a loaded laptop — and skips on single-core runners.
+// Value parity across worker counts is pinned separately by the opt
+// package's tests; this gate is about throughput and reach.
+func TestExactSolverSpeedupSmoke(t *testing.T) {
+	if os.Getenv("BENCH_SMOKE") == "" {
+		t.Skip("set BENCH_SMOKE=1 to run the exact-solver speedup gate")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skip("speedup gate needs ≥2 cores for stable timing")
+	}
+
+	seed := sim.SeedFor(1, "bench-exact")
+	ind := workload.Independent(workload.Config{Jobs: 12, Machines: 4, Seed: seed})
+	viMS, viVal := -1.0, 0.0
+	var st *opt.Stats
+	for try := 0; try < 3; try++ {
+		start := time.Now()
+		_, v, s, err := opt.OptimalRegimenParallel(ind, 0)
+		if err != nil {
+			t.Fatalf("independent-12x4 value iteration: %v", err)
+		}
+		if ms := time.Since(start).Seconds() * 1000; viMS < 0 || ms < viMS {
+			viMS, viVal, st = ms, v, s
+		}
+	}
+	start := time.Now()
+	_, oracleVal, err := opt.OptimalRegimenExhaustive(ind)
+	if err != nil {
+		t.Fatalf("independent-12x4 exhaustive DP: %v", err)
+	}
+	oracleMS := time.Since(start).Seconds() * 1000
+	if math.Abs(viVal-oracleVal) > 1e-9 {
+		t.Fatalf("independent-12x4: value iteration %v disagrees with the exhaustive DP %v", viVal, oracleVal)
+	}
+	ratio := oracleMS / viMS
+	t.Logf("exact 12x4 value iteration (%d states, %d transitions): vi %.0fms oracle %.0fms ratio %.1fx",
+		st.States, st.Transitions, viMS, oracleMS, ratio)
+	if ratio < 10 {
+		t.Errorf("value iteration on independent-12x4 only %.1fx faster than the exhaustive DP (want ≥10x): vi %.0fms oracle %.0fms",
+			ratio, viMS, oracleMS)
+	}
+
+	ch := workload.Chains(workload.Config{Jobs: 20, Machines: 4, Seed: seed}, 5)
+	start = time.Now()
+	_, _, cst, err := opt.OptimalRegimenParallel(ch, 0)
+	if err != nil {
+		t.Fatalf("chains-20x4 value iteration: %v", err)
+	}
+	chMS := time.Since(start).Seconds() * 1000
+	t.Logf("exact chains-20x4 frontier: %d states (%d layers) in %.0fms", cst.States, cst.Layers, chMS)
+	if chMS > 5000 {
+		t.Errorf("chains-20x4 value iteration took %.0fms (want <5000ms)", chMS)
+	}
+}

@@ -114,13 +114,22 @@ func estimateInfo(in *model.Instance, pol sched.Policy, reps int, seed int64) (f
 	return sum.Mean, eng
 }
 
-// exactOrNaN returns the exact optimum when the instance is small
-// enough, else NaN.
+// exactOpt returns the exact optimum when the value iteration can
+// reach the instance at experiment-loop cost. The precheck is in
+// state-space terms, not raw (n, m): 12×4 independent (4096 states)
+// and n≈20 chains/forests (a few thousand down-sets) are inside the
+// frontier, while wide-antichain or many-machine instances whose
+// assignment enumeration would dominate the sweep are rejected before
+// any DP work happens.
 func exactOpt(in *model.Instance) (float64, bool) {
-	if in.N > 8 || in.M > 3 {
+	if in.N > 20 || in.M > 4 {
 		return 0, false
 	}
-	_, v, err := opt.OptimalRegimen(in)
+	ns, err := opt.StateCount(in)
+	if err != nil || ns > 20_000 {
+		return 0, false
+	}
+	_, v, _, err := opt.OptimalRegimenParallel(in, 0)
 	if err != nil {
 		return 0, false
 	}

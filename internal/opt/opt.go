@@ -1,15 +1,23 @@
-// Package opt computes exact expected makespans for small SUU
-// instances: the exact value of a given regimen, and the optimal
-// regimen itself via dynamic programming over the lattice of
-// unfinished-job states — the approach Malewicz (SPAA 2005) showed to
-// be polynomial for constant width and machine count, and which this
-// reproduction uses as ground truth (T_OPT) in the experiments.
+// Package opt computes exact expected makespans for SUU instances: the
+// exact value of a given regimen, and the optimal regimen itself via
+// dynamic programming over the lattice of unfinished-job states — the
+// approach Malewicz (SPAA 2005) showed to be polynomial for constant
+// width and machine count, and which this reproduction uses as ground
+// truth (T_OPT) in the experiments.
 //
 // States are bitmasks of unfinished jobs. Only "closed" states (where
 // every successor of an unfinished job is unfinished) are reachable.
 // Transitions remove a subset of the eligible jobs, so values are
 // computed in increasing order of popcount, resolving the self-loop in
 // closed form: E[S] = (1 + Σ_{∅≠T⊆E} P(T)·E[S\T]) / (1 − P(∅)).
+//
+// Two solvers implement that recurrence. OptimalRegimen runs the
+// layered parallel value iteration of valueiter.go (down-set state
+// generation, trialed-subset transition sums, incumbent pruning,
+// terminal closed forms) and reaches n≈20 on structured instances.
+// OptimalRegimenExhaustive is the original small-instance DP — a 2^n
+// closed-state scan with full 2^eligible subset sums — retained as the
+// parity oracle the fuzz tests compare the value iteration against.
 package opt
 
 import (
@@ -23,7 +31,9 @@ import (
 
 // Limits guard the exponential enumeration.
 const (
-	// MaxJobs bounds n for exact computations (2^n states).
+	// MaxJobs bounds n for the exhaustive oracle (2^n scanned states).
+	// The value iteration behind OptimalRegimen is bounded by MaxStates
+	// (closed states actually generated) instead.
 	MaxJobs = 16
 	// MaxAssignmentsPerState bounds k^m when searching the optimal
 	// assignment of one state.
@@ -31,7 +41,9 @@ const (
 )
 
 // ErrTooLarge is returned when an instance exceeds the exact-solver
-// limits.
+// limits. The value-iteration paths return a *TooLargeError wrapping
+// it that names the instance size and the limit hit; match with
+// errors.Is.
 var ErrTooLarge = errors.New("opt: instance too large for exact computation")
 
 // closedStates enumerates all reachable unfinished-set masks: S is
@@ -145,35 +157,118 @@ func successProbs(in *model.Instance, a sched.Assignment, el []int) []float64 {
 
 // ExactRegimen computes the exact expected makespan of regimen r from
 // the all-unfinished start state. Returns +Inf if some reachable state
-// makes no progress under r.
+// makes no progress under r. States come from down-set generation, so
+// the reach matches OptimalRegimen (MaxStates closed states), not the
+// oracle's MaxJobs bound.
 func ExactRegimen(in *model.Instance, r *sched.Regimen) (float64, error) {
-	if in.N > MaxJobs {
-		return 0, ErrTooLarge
+	sp, err := enumerateClosed(in, in.M)
+	if err != nil {
+		return 0, err
 	}
-	states := closedStates(in)
-	value := map[uint64]float64{0: 0}
+	ns := len(sp.masks)
+	value := make([]float64, ns)
 	unfinished := make([]bool, in.N)
-	for _, s := range states {
-		if s == 0 {
-			continue
+	state := &sched.State{Unfinished: unfinished}
+	pos := make([]int32, in.N) // job → eligible slot of the current state
+	fail := make([]float64, sp.maxK)
+	slotBit := make([]uint64, sp.maxK)
+	trial := make([]int32, 0, in.M)
+	list := make([]uint64, 1) // removed-job masks of the subset DP
+	pv := make([]float64, 1)  // probabilities parallel to list
+	for si := 1; si < ns; si++ {
+		s := sp.masks[si]
+		elm := sp.elig[si]
+		k := 0
+		for e := elm; e != 0; e &= e - 1 {
+			j := bits.TrailingZeros64(e)
+			pos[j] = int32(k)
+			slotBit[k] = e & -e
+			fail[k] = 1
+			k++
 		}
-		el := eligibleOf(in, s)
 		for j := 0; j < in.N; j++ {
 			unfinished[j] = s&(1<<uint(j)) != 0
 		}
-		a := r.Assign(&sched.State{Unfinished: unfinished})
-		q := successProbs(in, a, el)
-		value[s] = stateValue(s, el, q, value)
+		a := r.Assign(state)
+		trial = trial[:0]
+		var touched uint64
+		for i, j := range a {
+			if j == sched.Idle || j < 0 || j >= in.N || elm&(1<<uint(j)) == 0 {
+				continue // idle, or an ineligible job the executor ignores
+			}
+			d := pos[j]
+			if touched&(1<<uint(d)) == 0 {
+				touched |= 1 << uint(d)
+				trial = append(trial, d)
+			}
+			fail[d] *= 1 - in.P[i][j]
+		}
+		// Slot-order product matches the oracle's stateValue. Slots a
+		// machine touched with p=0 keep fail==1 and q==0: their subset
+		// terms vanish, so the DP below can skip them entirely.
+		pNone := 1.0
+		for d := 0; d < k; d++ {
+			pNone *= fail[d]
+		}
+		if pNone >= 1-1e-15 {
+			value[si] = math.Inf(1)
+			continue
+		}
+		t := 0
+		for _, d := range trial {
+			if fail[d] < 1 {
+				trial[t] = d
+				t++
+			}
+		}
+		if need := int64(1) << uint(t); int64(cap(list)) < need {
+			list = make([]uint64, need)
+			pv = make([]float64, need)
+		}
+		size := 1
+		list = list[:cap(list)]
+		pv = pv[:cap(pv)]
+		list[0], pv[0] = 0, 1
+		for i := 0; i < t; i++ {
+			f := fail[trial[i]]
+			q := 1 - f
+			jb := slotBit[trial[i]]
+			for x := 0; x < size; x++ {
+				list[size+x] = list[x] | jb
+				pv[size+x] = pv[x] * q
+				pv[x] *= f
+			}
+			size <<= 1
+		}
+		sum := 0.0
+		for x := 1; x < size; x++ {
+			if p := pv[x]; p != 0 {
+				sum += p * value[sp.idx[s&^list[x]]]
+			}
+		}
+		value[si] = (1 + sum) / (1 - pNone)
 	}
-	return value[(1<<uint(in.N))-1], nil
+	return value[ns-1], nil
 }
 
 // OptimalRegimen computes the optimal regimen and its exact expected
-// makespan T_OPT by exhaustive minimization over assignment functions
-// per state. Machines are restricted to eligible jobs (an optimal
-// regimen never benefits from assigning a machine to an ineligible
-// job, whose completion cannot occur).
+// makespan T_OPT with the parallel value iteration of valueiter.go
+// (workers = GOMAXPROCS; results are bit-identical at any count).
 func OptimalRegimen(in *model.Instance) (*sched.Regimen, float64, error) {
+	reg, v, _, err := OptimalRegimenParallel(in, 0)
+	return reg, v, err
+}
+
+// OptimalRegimenExhaustive is the original Malewicz-style DP —
+// exhaustive minimization over k^m assignment functions per state with
+// full 2^eligible subset sums over a 2^n closed-state scan. It is
+// retained solely as the parity oracle for the value iteration (the
+// dense-tableau role of the sparse simplex): slower on every instance,
+// but an independent implementation of the same recurrence. Machines
+// are restricted to eligible jobs (an optimal regimen never benefits
+// from assigning a machine to an ineligible job, whose completion
+// cannot occur).
+func OptimalRegimenExhaustive(in *model.Instance) (*sched.Regimen, float64, error) {
 	if in.N > MaxJobs {
 		return nil, 0, ErrTooLarge
 	}
@@ -242,22 +337,19 @@ func OptimalRegimen(in *model.Instance) (*sched.Regimen, float64, error) {
 // runs MSM-style greedy matching supplied by assign; it is a helper to
 // freeze an adaptive policy into a regimen for exact evaluation.
 func GreedyRegimen(in *model.Instance, assign func(unfinished, eligible []bool) sched.Assignment) (*sched.Regimen, error) {
-	if in.N > MaxJobs {
-		return nil, ErrTooLarge
+	sp, err := enumerateClosed(in, in.M)
+	if err != nil {
+		return nil, err
 	}
 	reg := sched.NewRegimen(in.N, in.M)
 	unf := make([]bool, in.N)
 	elig := make([]bool, in.N)
-	for _, s := range closedStates(in) {
-		if s == 0 {
-			continue
-		}
+	for si := 1; si < len(sp.masks); si++ {
+		s := sp.masks[si]
+		elm := sp.elig[si]
 		for j := 0; j < in.N; j++ {
 			unf[j] = s&(1<<uint(j)) != 0
-			elig[j] = false
-		}
-		for _, j := range eligibleOf(in, s) {
-			elig[j] = true
+			elig[j] = elm&(1<<uint(j)) != 0
 		}
 		reg.F[s] = assign(append([]bool(nil), unf...), append([]bool(nil), elig...))
 	}
@@ -267,10 +359,11 @@ func GreedyRegimen(in *model.Instance, assign func(unfinished, eligible []bool) 
 // StateCount returns the number of reachable (closed) states — a
 // difficulty measure reported by the experiment harness.
 func StateCount(in *model.Instance) (int, error) {
-	if in.N > MaxJobs {
-		return 0, ErrTooLarge
+	sp, err := enumerateClosed(in, in.M)
+	if err != nil {
+		return 0, err
 	}
-	return len(closedStates(in)), nil
+	return len(sp.masks), nil
 }
 
 // Popcount of uint64, exported for tests of the state enumeration.

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -185,15 +186,43 @@ func TestEligibleOf(t *testing.T) {
 }
 
 func TestTooLargeGuard(t *testing.T) {
+	// The exhaustive oracle keeps the hard 16-job scan bound.
 	in := model.New(MaxJobs+1, 1)
 	for j := 0; j <= MaxJobs; j++ {
 		in.P[0][j] = 1
 	}
-	if _, _, err := OptimalRegimen(in); err != ErrTooLarge {
-		t.Errorf("err=%v, want ErrTooLarge", err)
+	if _, _, err := OptimalRegimenExhaustive(in); err != ErrTooLarge {
+		t.Errorf("oracle err=%v, want ErrTooLarge", err)
 	}
-	if _, err := ExactRegimen(in, sched.NewRegimen(1, 1)); err != ErrTooLarge {
-		t.Errorf("err=%v, want ErrTooLarge", err)
+	// ...but the value iteration now accepts it: 2^17 closed states.
+	if _, _, err := OptimalRegimen(in); err != nil {
+		t.Errorf("value iteration at n=%d: err=%v, want nil", MaxJobs+1, err)
+	}
+
+	// 25 independent jobs exceed MaxStates (2^25 up-sets). The error
+	// must wrap ErrTooLarge and name the limit.
+	wide := model.New(25, 1)
+	_, _, _, err := OptimalRegimenParallel(wide, 1)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("n=25 err=%v, want ErrTooLarge via errors.Is", err)
+	}
+	var tle *TooLargeError
+	if !errors.As(err, &tle) || tle.Limit != "states" || tle.N != 25 || tle.M != 1 {
+		t.Errorf("n=25 err=%+v, want *TooLargeError{Limit:states N:25 M:1}", err)
+	}
+	if _, err := ExactRegimen(wide, sched.NewRegimen(25, 1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("ExactRegimen n=25 err=%v, want ErrTooLarge", err)
+	}
+
+	// A 10-job antichain with 8 machines passes the state limit but
+	// needs 10^8 assignments in the top state.
+	deep := model.New(10, 8)
+	_, _, _, err = OptimalRegimenParallel(deep, 1)
+	if !errors.As(err, &tle) || tle.Limit != "assignments" {
+		t.Fatalf("10x8 err=%v, want assignments TooLargeError", err)
+	}
+	if tle.States != 1<<10 || tle.Eligible != 10 {
+		t.Errorf("10x8 error detail States=%d Eligible=%d, want 1024, 10", tle.States, tle.Eligible)
 	}
 }
 

@@ -45,12 +45,17 @@ func Transitions(in *model.Instance, s uint64, a sched.Assignment) []Transition 
 
 // ClosedStates exposes the reachable unfinished-set states in
 // increasing mask order (the exact solvers' state space), for the
-// Figure 1 reproduction and diagnostics.
+// Figure 1 reproduction and diagnostics. States come from down-set
+// generation, so the limit is MaxStates generated states rather than
+// the oracle's MaxJobs.
 func ClosedStates(in *model.Instance) ([]uint64, error) {
-	if in.N > MaxJobs {
-		return nil, ErrTooLarge
+	sp, err := enumerateClosed(in, in.M)
+	if err != nil {
+		return nil, err
 	}
-	return closedStates(in), nil
+	out := append([]uint64(nil), sp.masks...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
 }
 
 // Eligible exposes the eligible job list of a state.

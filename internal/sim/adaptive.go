@@ -84,6 +84,10 @@ type adaptState struct {
 	// bits are set in sub (indexing jobs, not global job ids) complete;
 	// -1 marks the terminal all-finished state.
 	next []int32
+	// terminal marks states with at most two unfinished jobs — the
+	// closed-form layer the walks exit into when splicing is on (see
+	// splice.go).
+	terminal bool
 }
 
 // compiledAdaptive is the immutable compiled policy shared read-only
@@ -92,6 +96,10 @@ type compiledAdaptive struct {
 	in     *model.Instance
 	states []adaptState
 	n      int
+	// splice snapshots the TerminalSplice knob at compile time: when
+	// set, walks sample terminal (≤2 unfinished jobs) states in closed
+	// form instead of stepping through them.
+	splice bool
 }
 
 // eligibleMask returns the eligible-job bitmask of unfinished-set s.
@@ -131,7 +139,7 @@ func compileAdaptive(in *model.Instance, pol sched.Memoizable, budget int) *comp
 		return nil
 	}
 	p := in.Flat()
-	c := &compiledAdaptive{in: in, n: n}
+	c := &compiledAdaptive{in: in, n: n, splice: terminalSplice}
 	full := uint64(1)<<uint(n) - 1
 	idx := map[uint64]int32{full: 0}
 	queue := []uint64{full}
@@ -183,10 +191,11 @@ func compileAdaptive(in *model.Instance, pol sched.Memoizable, budget int) *comp
 			return nil
 		}
 		s := adaptState{
-			jobs: make([]int32, k),
-			succ: make([]float64, k),
-			mass: make([]float64, k),
-			next: make([]int32, 1<<uint(k)),
+			jobs:     make([]int32, k),
+			succ:     make([]float64, k),
+			mass:     make([]float64, k),
+			next:     make([]int32, 1<<uint(k)),
+			terminal: bits.OnesCount64(mask) <= 2,
 		}
 		copy(s.jobs, order)
 		for b, j32 := range order {
@@ -243,18 +252,25 @@ func (c *compiledAdaptive) newRunner() *adaptRunner {
 	return &adaptRunner{c: c, mass: make([]float64, c.n)}
 }
 
-// run replays one repetition through the table. Draw-for-draw it
-// performs the same completion trials as the step engine, in the same
-// order, against the same probabilities, so the makespan distribution
-// is bit-identical. The loop allocates nothing.
+// run replays one repetition through the table. With splicing off,
+// draw-for-draw it performs the same completion trials as the step
+// engine, in the same order, against the same probabilities, so the
+// makespan distribution is bit-identical; with splicing on, terminal
+// (≤2 unfinished jobs) states are sampled in closed form instead (see
+// splice.go) — same distribution, different draws. The loop allocates
+// nothing.
 func (r *adaptRunner) run(maxSteps int, rng Rand) (int, bool) {
 	states := r.c.states
 	for j := range r.mass {
 		r.mass[j] = 0
 	}
 	cur := int32(0)
+	splice := r.c.splice
 	for t := 0; t < maxSteps; t++ {
 		s := &states[cur]
+		if splice && s.terminal {
+			return r.c.spliceFrom(cur, t, maxSteps, rng, r.mass)
+		}
 		sub := 0
 		for k, j := range s.jobs {
 			r.mass[j] += s.mass[k]

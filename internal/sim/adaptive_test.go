@@ -68,8 +68,11 @@ func adaptiveParityCases(t *testing.T) map[string]struct {
 func TestCompiledAdaptiveBitIdenticalToGeneric(t *testing.T) {
 	// This pins the SCALAR table walk to the step engine; at these rep
 	// counts auto dispatch would select the lane engine, whose own
-	// exactness contract lives in lane_test.go.
+	// exactness contract lives in lane_test.go. Terminal splicing is
+	// distribution- but not draw-preserving, so it is pinned off too
+	// (see splice_test.go for its own contract).
 	defer SetBitParallel(BitParallelOff)()
+	defer SetTerminalSplice(false)()
 	const reps, cap, seed = 1500, 100000, 17
 	for name, tc := range adaptiveParityCases(t) {
 		t.Run(name, func(t *testing.T) {
@@ -106,6 +109,10 @@ func TestCompiledAdaptiveBitIdenticalToGeneric(t *testing.T) {
 // as a precomputed per-step sum — stays within float tolerance of the
 // step engine's machine-by-machine accumulation.
 func TestCompiledAdaptiveMassParity(t *testing.T) {
+	// Scalar-vs-generic draw identity: pin off the lane dispatch (whose
+	// mass contract is TestLaneMassParity) and terminal splicing.
+	defer SetBitParallel(BitParallelOff)()
+	defer SetTerminalSplice(false)()
 	in := workload.Independent(workload.Config{Jobs: 10, Machines: 3, Seed: 42})
 	pol := &core.AdaptivePolicy{In: in}
 	generic := sched.PolicyFunc(pol.Assign)
@@ -127,6 +134,7 @@ func TestCompiledAdaptiveMassParity(t *testing.T) {
 // disables compilation outright.
 func TestCompiledAdaptiveFallbackOverBudget(t *testing.T) {
 	defer SetBitParallel(BitParallelOff)() // pin the scalar engines; see lane_test.go
+	defer SetTerminalSplice(false)()       // draw identity with the generic engine
 	in := workload.Independent(workload.Config{Jobs: 8, Machines: 3, Seed: 3})
 	pol := &core.AdaptivePolicy{In: in}
 	const reps, cap, seed = 800, 100000, 5
@@ -209,6 +217,7 @@ func (observingMemoizable) Memoizable() {}
 // engines stay bit-identical.
 func TestCompiledAdaptiveCertainJobParity(t *testing.T) {
 	defer SetBitParallel(BitParallelOff)() // pin the scalar engines; see lane_test.go
+	defer SetTerminalSplice(false)()       // draw identity with the generic engine
 	in := model.New(2, 2)
 	in.SetAt(0, 0, 1)
 	in.SetAt(1, 0, 1)

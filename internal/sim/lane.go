@@ -162,8 +162,17 @@ func laneBernoulli(tr *Stream, gseed, a, b int64, succ float64, need uint64) uin
 // final partial group) and returns the per-lane makespans in lane
 // order plus the completed-lane mask. The returned slice is a view
 // into the worker's buffer, valid until the next call.
+//
+// massLanes enables per-lane mass tracking and returns the buffer the
+// subsequent runGroup calls fill: lane l's per-job masses are
+// mass[l*n : (l+1)*n], valid until the next call. Tracking is off by
+// default — Estimate never pays for it — and is what lets
+// MassWithinHorizon run on the lane engines. Per lane, masses accrue
+// in the same order as the scalar walk under the remap, so the lane
+// engines and the one-lane-at-a-time oracle stay bit-identical.
 type laneWorker interface {
 	runGroup(g int64, cnt, maxSteps int) (mk []int32, completed uint64)
+	massLanes() []float64
 }
 
 // newLaneWorker builds the lane engine (or, in oracle mode, the
@@ -212,6 +221,9 @@ type laneOblivRunner struct {
 	// continue one at a time on the generic step engine, reusing the
 	// scalar engine's continueTail seeding.
 	tailR *oblivRunner
+	// massB is the per-lane mass buffer (massB[l*n+j]), nil until
+	// massLanes enables tracking.
+	massB []float64
 }
 
 func newLaneOblivRunner(c *compiledOblivious, seed int64) *laneOblivRunner {
@@ -249,6 +261,9 @@ func (r *laneOblivRunner) runGroup(g int64, cnt, maxSteps int) ([]int32, uint64)
 	var unfin uint64 // lanes with at least one job unfinished after the prefix
 	for l := range r.mcmp {
 		r.mcmp[l] = -1
+	}
+	if r.massB != nil {
+		clear(r.massB[:cnt*in.N])
 	}
 	for _, j32 := range c.topo {
 		j := int(j32)
@@ -309,6 +324,12 @@ func (r *laneOblivRunner) runGroup(g int64, cnt, maxSteps int) ([]int32, uint64)
 					}
 				}
 				if active != 0 {
+					if r.massB != nil {
+						for m := active; m != 0; m &= m - 1 {
+							l := bits.TrailingZeros64(m)
+							r.massB[l*in.N+j] += c.mass[k]
+						}
+					}
 					win := active & laneBernoulli(&r.tr, gseed, int64(k), 0, c.succ[k], active)
 					if win != 0 {
 						doneJ |= win
@@ -379,39 +400,59 @@ func (r *laneOblivRunner) winsBefore(pr int, x int32) uint64 {
 	return r.winMask[i-1]
 }
 
-// continueTailLane hands lane l to the generic step engine: it copies
-// the lane's completion column into the scratch scalar runner and
-// reuses its continueTail seeding, with the rep's pinned tail stream.
+// continueTailLane hands lane l to the scalar continuation (closed-
+// form splice or generic step engine): it copies the lane's completion
+// column — and, when mass tracking is on, its accumulated prefix mass
+// — into the scratch scalar runner and reuses its continueTail
+// seeding, with the rep's pinned tail stream.
 func (r *laneOblivRunner) continueTailLane(g int64, l, maxSteps int) (int, bool) {
 	if r.tailR == nil {
 		r.tailR = r.c.newRunner()
 	}
 	tr := r.tailR
+	n := r.c.in.N
 	unfinished := 0
-	for j := 0; j < r.c.in.N; j++ {
+	for j := 0; j < n; j++ {
 		tr.comp[j] = r.comp[j*LaneWidth+l]
-		tr.mass[j] = 0
+		if r.massB != nil {
+			tr.mass[j] = r.massB[l*n+j]
+		} else {
+			tr.mass[j] = 0
+		}
 		if tr.comp[j] < 0 {
 			unfinished++
 		}
 	}
 	r.tail.Reseed(laneTailSeed(r.seed), g*LaneWidth+int64(l))
-	return tr.continueTail(unfinished, maxSteps, &r.tail)
+	mk, done := tr.continueTail(unfinished, maxSteps, &r.tail)
+	if r.massB != nil {
+		copy(r.massB[l*n:(l+1)*n], tr.mass)
+	}
+	return mk, done
+}
+
+func (r *laneOblivRunner) massLanes() []float64 {
+	if r.massB == nil {
+		r.massB = make([]float64, r.c.in.N*LaneWidth)
+	}
+	return r.massB
 }
 
 // laneOblivOracle replays the lane engine's numbers one lane at a
 // time on the scalar compiled walk (oblivRun parameterized with
 // remapDraw) — the exactness oracle for the oblivious lane walk.
 type laneOblivOracle struct {
-	r    *oblivRunner
-	seed int64
-	tr   Stream
-	tail Stream
-	mk   [LaneWidth]int32
+	r     *oblivRunner
+	seed  int64
+	tr    Stream
+	tail  Stream
+	mk    [LaneWidth]int32
+	massB []float64
 }
 
 func (o *laneOblivOracle) runGroup(g int64, cnt, maxSteps int) ([]int32, uint64) {
 	gseed := laneGroupSeed(o.seed, g)
+	n := o.r.c.in.N
 	var completed uint64
 	for l := 0; l < cnt; l++ {
 		o.tail.Reseed(laneTailSeed(o.seed), g*LaneWidth+int64(l))
@@ -420,8 +461,18 @@ func (o *laneOblivOracle) runGroup(g int64, cnt, maxSteps int) ([]int32, uint64)
 		if done {
 			completed |= uint64(1) << uint(l)
 		}
+		if o.massB != nil {
+			copy(o.massB[l*n:(l+1)*n], o.r.mass)
+		}
 	}
 	return o.mk[:cnt], completed
+}
+
+func (o *laneOblivOracle) massLanes() []float64 {
+	if o.massB == nil {
+		o.massB = make([]float64, o.r.c.in.N*LaneWidth)
+	}
+	return o.massB
 }
 
 // laneAdaptMaxFan bounds the per-state trial fan-out; it matches the
@@ -459,6 +510,24 @@ type laneAdaptRunner struct {
 	sub      [LaneWidth][laneAdaptMaxFan]int32 // pair id per (lane, trial slot)
 	seed     int64
 	tr       Stream
+	// massB is the per-lane mass buffer (massB[l*n+j]), nil until
+	// massLanes enables tracking.
+	massB []float64
+}
+
+// massCol returns lane l's mass column, or nil when tracking is off.
+func (r *laneAdaptRunner) massCol(l int) []float64 {
+	if r.massB == nil {
+		return nil
+	}
+	return r.massB[l*r.c.n : (l+1)*r.c.n]
+}
+
+func (r *laneAdaptRunner) massLanes() []float64 {
+	if r.massB == nil {
+		r.massB = make([]float64, r.c.n*LaneWidth)
+	}
+	return r.massB
 }
 
 func newLaneAdaptRunner(c *compiledAdaptive, seed int64) *laneAdaptRunner {
@@ -491,6 +560,7 @@ func newLaneAdaptRunner(c *compiledAdaptive, seed int64) *laneAdaptRunner {
 
 func (r *laneAdaptRunner) runGroup(g int64, cnt, maxSteps int) ([]int32, uint64) {
 	gseed := laneGroupSeed(r.seed, g)
+	n := r.c.n
 	laneMask := ^uint64(0)
 	if cnt < LaneWidth {
 		laneMask = uint64(1)<<uint(cnt) - 1
@@ -499,8 +569,24 @@ func (r *laneAdaptRunner) runGroup(g int64, cnt, maxSteps int) ([]int32, uint64)
 	for l := 0; l < cnt; l++ {
 		r.cur[l] = 0
 	}
+	if r.massB != nil {
+		clear(r.massB[:cnt*n])
+	}
 	var completed uint64
 	states := r.c.states
+	// A start state already in the terminal layer (n ≤ 2) splices every
+	// lane straight away via the per-lane walk.
+	if r.c.splice && states[0].terminal {
+		for m := active; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			mk, done := r.c.laneRunFrom(&r.tr, gseed, uint(l), 0, 0, maxSteps, r.massCol(l))
+			r.mk[l] = int32(mk)
+			if done {
+				completed |= uint64(1) << uint(l)
+			}
+		}
+		return r.mk[:cnt], completed
+	}
 	for t := 0; t < maxSteps && active != 0; t++ {
 		// Collect the step's touched (job, succ) pairs and each pair's
 		// needing-lane mask.
@@ -524,7 +610,7 @@ func (r *laneAdaptRunner) runGroup(g int64, cnt, maxSteps int) ([]int32, uint64)
 			}
 			for m := active; m != 0; m &= m - 1 {
 				l := bits.TrailingZeros64(m)
-				mk, done := r.c.laneRunFrom(&r.tr, gseed, uint(l), r.cur[l], t, maxSteps)
+				mk, done := r.c.laneRunFrom(&r.tr, gseed, uint(l), r.cur[l], t, maxSteps, r.massCol(l))
 				r.mk[l] = int32(mk)
 				if done {
 					completed |= uint64(1) << uint(l)
@@ -540,6 +626,12 @@ func (r *laneAdaptRunner) runGroup(g int64, cnt, maxSteps int) ([]int32, uint64)
 		for m := active; m != 0; m &= m - 1 {
 			l := bits.TrailingZeros64(m)
 			s := &states[r.cur[l]]
+			if r.massB != nil {
+				col := r.massB[l*n : (l+1)*n]
+				for ki, j := range s.jobs {
+					col[j] += s.mass[ki]
+				}
+			}
 			sub := 0
 			for ki := range s.jobs {
 				sub |= int(r.pairWord[r.sub[l][ki]]>>uint(l)&1) << uint(ki)
@@ -551,11 +643,23 @@ func (r *laneAdaptRunner) runGroup(g int64, cnt, maxSteps int) ([]int32, uint64)
 				continue
 			}
 			nxt := s.next[sub]
-			if nxt < 0 {
+			switch {
+			case nxt < 0:
 				r.mk[l] = int32(t + 1)
 				completed |= uint64(1) << uint(l)
 				active &^= uint64(1) << uint(l)
-			} else {
+			case r.c.splice && states[nxt].terminal:
+				// Entering the ≤2-job terminal layer: demote the lane to
+				// the per-lane walk, which splices immediately — the same
+				// point at which the oracle's laneRunFrom splices, on the
+				// same pinned stream.
+				mk, done := r.c.laneRunFrom(&r.tr, gseed, uint(l), nxt, t+1, maxSteps, r.massCol(l))
+				r.mk[l] = int32(mk)
+				if done {
+					completed |= uint64(1) << uint(l)
+				}
+				active &^= uint64(1) << uint(l)
+			default:
 				r.cur[l] = nxt
 			}
 		}
@@ -568,16 +672,25 @@ func (r *laneAdaptRunner) runGroup(g int64, cnt, maxSteps int) ([]int32, uint64)
 
 // laneRunFrom walks one lane of group gseed through the table from
 // state cur at step t0, drawing each trial from its pinned (step,
-// job) stream position. Both the demoted lane walk and the adaptive
-// oracle run exactly this code, which is why demotion is invisible in
-// the results.
-func (c *compiledAdaptive) laneRunFrom(tr *Stream, gseed int64, lane uint, cur int32, t0, maxSteps int) (int, bool) {
+// job) stream position and accruing mass into the optional per-job
+// column. Both the demoted lane walk and the adaptive oracle run
+// exactly this code, which is why demotion is invisible in the
+// results. With splicing on, entering a terminal state exits into the
+// closed-form sampler on the lane's dedicated splice stream.
+func (c *compiledAdaptive) laneRunFrom(tr *Stream, gseed int64, lane uint, cur int32, t0, maxSteps int, mass []float64) (int, bool) {
 	states := c.states
 	need := uint64(1) << lane
 	for t := t0; t < maxSteps; t++ {
 		s := &states[cur]
+		if c.splice && s.terminal {
+			tr.ReseedTrial(gseed, spliceLaneKey, int64(lane))
+			return c.spliceFrom(cur, t, maxSteps, tr, mass)
+		}
 		sub := 0
 		for ki, j := range s.jobs {
+			if mass != nil {
+				mass[j] += s.mass[ki]
+			}
 			if laneBernoulli(tr, gseed, int64(t), int64(j), s.succ[ki], need)&need != 0 {
 				sub |= 1 << uint(ki)
 			}
@@ -598,21 +711,35 @@ func (c *compiledAdaptive) laneRunFrom(tr *Stream, gseed int64, lane uint, cur i
 // time via laneRunFrom — the exactness oracle for the adaptive lane
 // walk.
 type laneAdaptOracle struct {
-	c    *compiledAdaptive
-	seed int64
-	tr   Stream
-	mk   [LaneWidth]int32
+	c     *compiledAdaptive
+	seed  int64
+	tr    Stream
+	mk    [LaneWidth]int32
+	massB []float64
 }
 
 func (o *laneAdaptOracle) runGroup(g int64, cnt, maxSteps int) ([]int32, uint64) {
 	gseed := laneGroupSeed(o.seed, g)
+	n := o.c.n
 	var completed uint64
 	for l := 0; l < cnt; l++ {
-		mk, done := o.c.laneRunFrom(&o.tr, gseed, uint(l), 0, 0, maxSteps)
+		var col []float64
+		if o.massB != nil {
+			col = o.massB[l*n : (l+1)*n]
+			clear(col)
+		}
+		mk, done := o.c.laneRunFrom(&o.tr, gseed, uint(l), 0, 0, maxSteps, col)
 		o.mk[l] = int32(mk)
 		if done {
 			completed |= uint64(1) << uint(l)
 		}
 	}
 	return o.mk[:cnt], completed
+}
+
+func (o *laneAdaptOracle) massLanes() []float64 {
+	if o.massB == nil {
+		o.massB = make([]float64, o.c.n*LaneWidth)
+	}
+	return o.massB
 }

@@ -352,3 +352,67 @@ func TestLaneGroupAllocationFree(t *testing.T) {
 		t.Errorf("adaptive lane group: %v allocs/run, want 0", allocs)
 	}
 }
+
+// TestLaneMassParity pins satellite mass tracking on the lane engines:
+// MassWithinHorizon under the wordwise lane engine and under the
+// one-lane-at-a-time oracle must agree EXACTLY — threshold counts are
+// integers, so any per-lane mass divergence shows up as a changed
+// fraction. Covers both compiled engines, with terminal splicing on
+// (the lane walk and the oracle splice through the same code on the
+// same pinned streams).
+func TestLaneMassParity(t *testing.T) {
+	in, o := chainsFixture()
+	apol := &core.AdaptivePolicy{In: in}
+	const reps, seed = 1000, 29
+	for name, tc := range map[string]struct {
+		pol     sched.Policy
+		horizon int
+	}{
+		"oblivious": {o, 30},
+		"adaptive":  {apol, 8},
+	} {
+		for _, threshold := range []float64{0.25, 1.0} {
+			var lane, oracle []float64
+			withMode(BitParallelOn, func() {
+				lane = MassWithinHorizon(in, tc.pol, tc.horizon, reps, threshold, seed)
+			})
+			withMode(bitParallelOracle, func() {
+				oracle = MassWithinHorizon(in, tc.pol, tc.horizon, reps, threshold, seed)
+			})
+			for j := range lane {
+				if lane[j] != oracle[j] {
+					t.Errorf("%s threshold %v job %d: lane fraction %v != oracle %v",
+						name, threshold, j, lane[j], oracle[j])
+				}
+			}
+		}
+	}
+
+	// The lane sample is a different draw of the same distribution as
+	// the scalar sample: fractions must agree statistically (binomial
+	// 6-sigma at 1000 reps), which guards against systematic accrual
+	// bugs the oracle comparison alone would share.
+	for name, tc := range map[string]struct {
+		pol     sched.Policy
+		horizon int
+	}{
+		"oblivious": {o, 30},
+		"adaptive":  {apol, 8},
+	} {
+		var lane, scalar []float64
+		withMode(BitParallelOn, func() {
+			lane = MassWithinHorizon(in, tc.pol, tc.horizon, reps, 0.25, seed)
+		})
+		withMode(BitParallelOff, func() {
+			scalar = MassWithinHorizon(in, tc.pol, tc.horizon, reps, 0.25, seed)
+		})
+		for j := range lane {
+			p := (lane[j] + scalar[j]) / 2 // pooled: either sample alone can sit at 0 or 1
+			sd := math.Sqrt(p * (1 - p) / reps)
+			if math.Abs(lane[j]-scalar[j]) > 6*sd+1e-3 {
+				t.Errorf("%s job %d: lane fraction %v vs scalar %v (sd %v)",
+					name, j, lane[j], scalar[j], sd)
+			}
+		}
+	}
+}

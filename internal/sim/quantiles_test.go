@@ -72,6 +72,10 @@ func TestMakespanP2QuantilesLaneDrainOrder(t *testing.T) {
 	}
 
 	// The scalar path keeps matching MakespanQuantiles' sample order.
+	// Splicing off pins the historical sample: P²'s accuracy at q0.99
+	// over 400 reps is sample-sensitive, and this block grades accuracy,
+	// not splicing.
+	defer SetTerminalSplice(false)()
 	withMode(BitParallelOff, func() {
 		exact, xs := MakespanQuantiles(in, o, 400, cap, seed, qs)
 		p2 := MakespanP2Quantiles(in, o, 400, cap, seed, qs)

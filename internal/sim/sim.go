@@ -111,6 +111,14 @@ type EngineUsed struct {
 	// TableBuildMS is the adaptive table's compile wall-clock for this
 	// call — provenance for perf records, never merge payload.
 	TableBuildMS float64
+	// Spliced reports whether the engine samples terminal (≤2
+	// unfinished jobs) stretches in closed form (see splice.go): the
+	// TerminalSplice knob as snapshotted at compile time, and for the
+	// compiled oblivious engine additionally whether the schedule's
+	// tail shape admits splicing. Spliced results are a different Monte
+	// Carlo sample of the same distribution, so persisted records need
+	// the flag to explain last-digit differences.
+	Spliced bool
 }
 
 // estimator selects and shares the engine for one estimation call:
@@ -166,6 +174,7 @@ func newEstimator(in *model.Instance, pol sched.Policy, reps int) *estimator {
 		e.compiled = compileOblivious(in, pol.(*sched.Oblivious))
 		if e.compiled != nil {
 			e.engine.Engine = EngineCompiled
+			e.engine.Spliced = e.compiled.spliceMode != spliceOff
 		}
 		e.maybeLane(reps)
 		return e
@@ -181,6 +190,7 @@ func newEstimator(in *model.Instance, pol sched.Policy, reps int) *estimator {
 			e.engine.Engine = EngineCompiledAdaptive
 			e.engine.States = len(e.adaptive.states)
 			e.engine.TableBuildMS = float64(time.Since(start).Nanoseconds()) / 1e6
+			e.engine.Spliced = e.adaptive.splice
 		}
 		e.maybeLane(reps)
 	}
@@ -189,10 +199,10 @@ func newEstimator(in *model.Instance, pol sched.Policy, reps int) *estimator {
 
 // maybeLane upgrades a compiled engine to its bit-parallel lane form
 // per the BitParallel knob and the auto-dispatch repetition floor.
-// Only the chunked estimators act on the flag (through
-// newLaneWorker); callers that drive repetitions one at a time
-// (MassWithinHorizon, MakespanQuantiles via newWorker) always run the
-// scalar engines.
+// The chunked estimators and MassWithinHorizon act on the flag
+// (through newLaneWorker); callers that drive repetitions one at a
+// time (MakespanQuantiles via newWorker) always run the scalar
+// engines.
 func (e *estimator) maybeLane(reps int) {
 	if e.compiled == nil && e.adaptive == nil {
 		return
@@ -364,23 +374,49 @@ const massSeedSalt = 0x6D617373 // "mass"
 // MassWithinHorizon runs reps executions of pol truncated at horizon
 // steps and returns, for job j, the fraction of runs in which j
 // accumulated mass at least threshold. Used to validate Theorem 2.2
-// empirically.
+// empirically. Large-reps calls on compiled policies run the
+// bit-parallel lane engine with per-lane mass tracking (see
+// laneWorker.massLanes); the threshold counts are then taken over the
+// lane remap's sample instead of the scalar streams — same
+// distribution, different draws.
 func MassWithinHorizon(in *model.Instance, pol sched.Policy, horizon, reps int, threshold float64, seed int64) []float64 {
 	counts := make([]float64, in.N)
 	est := newEstimator(in, pol, reps)
-	w := est.newWorker()
-	var rng Stream
-	for r := 0; r < reps; r++ {
-		rng.Reseed(seed^massSeedSalt, int64(r))
-		w.run(horizon, &rng)
-		for j, mss := range w.massView() {
-			if mss >= threshold-1e-12 {
-				counts[j]++
+	if est.lane {
+		w := est.newLaneWorker(seed ^ massSeedSalt)
+		mass := w.massLanes()
+		n := in.N
+		for glo := 0; glo < reps; glo += LaneWidth {
+			cnt := reps - glo
+			if cnt > LaneWidth {
+				cnt = LaneWidth
 			}
+			w.runGroup(int64(glo/LaneWidth), cnt, horizon)
+			for l := 0; l < cnt; l++ {
+				accrueMassHits(counts, mass[l*n:(l+1)*n], threshold)
+			}
+		}
+	} else {
+		w := est.newWorker()
+		var rng Stream
+		for r := 0; r < reps; r++ {
+			rng.Reseed(seed^massSeedSalt, int64(r))
+			w.run(horizon, &rng)
+			accrueMassHits(counts, w.massView(), threshold)
 		}
 	}
 	for j := range counts {
 		counts[j] /= float64(reps)
 	}
 	return counts
+}
+
+// accrueMassHits bumps counts[j] for every job whose accumulated mass
+// clears the threshold (comparison tolerance shared by both engines).
+func accrueMassHits(counts, mass []float64, threshold float64) {
+	for j, mss := range mass {
+		if mss >= threshold-1e-12 {
+			counts[j]++
+		}
+	}
 }

@@ -1,0 +1,347 @@
+package sim
+
+import "math"
+
+// Terminal-layer splicing: once a repetition is down to at most two
+// unfinished jobs, the remainder of the walk is a tiny Markov chain —
+// the same ≤2-job terminal layer the exact solver resolves in closed
+// form (internal/opt, valueiter.go) — and the compiled engines can
+// sample its outcome directly instead of stepping through it. The
+// spliced sampler draws the number of steps until the next completion
+// event from the geometric closed form (one uniform, inverted through
+// log), then the event itself from the conditional outcome
+// distribution (one more uniform), so a terminal stretch that would
+// cost E[1/(1-pNone)] step iterations costs two draws per completion
+// event. Mass accrues in closed form too: D steps in a state add
+// D·mass per trialed job.
+//
+// Splicing is distribution-preserving, not draw-preserving: it
+// consumes different uniforms than the step-by-step walk, so spliced
+// runs are a different (equally valid) Monte Carlo sample of the same
+// makespan and mass distributions. Tests that pin draw-for-draw
+// identity with the generic step engine disable it (SetTerminalSplice
+// (false)); the lane parity tests keep it on, because the wordwise
+// walk, the demoted lane walk and the lane oracle all splice through
+// the same code on the same pinned streams, so lane-vs-oracle
+// equality survives. Aggregated probabilities (the no-completion
+// product pNone, per-period failure products) are computed in float64,
+// the same latitude the compiled engines already take with mass; a
+// per-step probability below ~1e-16 can round into a stuck product.
+//
+// Where each engine splices:
+//
+//   - compiled adaptive (scalar, lane, lane oracle): states whose
+//     unfinished set has ≤2 jobs carry a terminal flag; the walk exits
+//     into spliceFrom on entering one.
+//   - compiled oblivious: repetitions that outlive the prefix with ≤2
+//     unfinished jobs splice the cyclic tail — the prefix replayed
+//     forever (nil Tail) or a TopoRoundRobin tail — instead of handing
+//     the remainder to the generic step engine. Other tails, or >2
+//     unfinished at the boundary, keep the generic continuation.
+
+// terminalSplice is the active setting; see SetTerminalSplice.
+var terminalSplice = true
+
+// SetTerminalSplice turns terminal-layer splicing on or off and
+// returns a func restoring the previous value. The setting is
+// snapshotted when an engine is compiled (once per estimation call).
+// Not safe to call concurrently with estimation; it exists for tests
+// that need draw-for-draw identity with the generic engine and for
+// benchmark harnesses measuring the splice effect.
+func SetTerminalSplice(on bool) (restore func()) {
+	old := terminalSplice
+	terminalSplice = on
+	return func() { terminalSplice = old }
+}
+
+// TerminalSplice returns the active splice setting.
+func TerminalSplice() bool { return terminalSplice }
+
+// spliceLaneKey is the ReseedTrial first coordinate of the lane splice
+// streams: adaptive lane trials are keyed (step, job) with step ≥ 0,
+// so a negative key can never collide. Lane l's splice draws come
+// sequentially from the stream positioned at (gseed, spliceLaneKey, l)
+// — the demoted lane walk and the lane oracle reach the terminal state
+// at the same step with the same trajectory, hence reseed identically
+// and stay bit-identical.
+const spliceLaneKey = -1
+
+// spliceFrom samples the terminal walk from state cur at step t in
+// closed form, drawing uniforms sequentially from rng. mass may be
+// nil (lane walks without mass tracking). Every state reachable from
+// a terminal state is terminal (completions only shrink the
+// unfinished set), so the loop never re-enters the step walk; it runs
+// at most two completion events.
+func (c *compiledAdaptive) spliceFrom(cur int32, t, maxSteps int, rng Rand, mass []float64) (int, bool) {
+	states := c.states
+	for {
+		s := &states[cur]
+		rem := maxSteps - t
+		pNone := 1.0
+		for _, q := range s.succ {
+			pNone *= 1 - q
+		}
+		if pNone >= 1 {
+			// No trialed job can complete (or the policy idles): the
+			// state self-loops to the cap, accruing mass every step.
+			for ki, j := range s.jobs {
+				if mass != nil {
+					mass[j] += float64(rem) * s.mass[ki]
+				}
+			}
+			return maxSteps, false
+		}
+		// D = steps consumed up to and including the first step with a
+		// completion: P(D = d) = pNone^(d-1)·(1-pNone).
+		D := 1
+		u := rng.Float64()
+		if pNone > 0 {
+			d := math.Log1p(-u) / math.Log(pNone)
+			if d >= float64(rem) {
+				for ki, j := range s.jobs {
+					if mass != nil {
+						mass[j] += float64(rem) * s.mass[ki]
+					}
+				}
+				return maxSteps, false
+			}
+			D += int(d)
+		}
+		if mass != nil {
+			for ki, j := range s.jobs {
+				mass[j] += float64(D) * s.mass[ki]
+			}
+		}
+		// The event: a non-empty completion subset, picked by inverse
+		// CDF over the ≤3 non-empty subsets of the ≤2 trialed slots.
+		k := len(s.jobs)
+		u2 := rng.Float64() * (1 - pNone)
+		sub := 1<<uint(k) - 1 // fp residue lands on the full subset
+		cum := 0.0
+		for cand := 1; cand < 1<<uint(k); cand++ {
+			p := 1.0
+			for ki := 0; ki < k; ki++ {
+				if cand>>uint(ki)&1 == 1 {
+					p *= s.succ[ki]
+				} else {
+					p *= 1 - s.succ[ki]
+				}
+			}
+			cum += p
+			if u2 < cum {
+				sub = cand
+				break
+			}
+		}
+		t += D
+		nxt := s.next[sub]
+		if nxt < 0 {
+			return t, true
+		}
+		cur = nxt
+		if t >= maxSteps {
+			return maxSteps, false
+		}
+	}
+}
+
+// Oblivious tail splice modes; set at compile time from the schedule's
+// tail shape and the TerminalSplice knob.
+const (
+	spliceOff   = iota
+	spliceCycle // nil Tail: the prefix replays forever, period prefixLen
+	spliceRR    // TopoRoundRobin tail: one ganged job per step, period len(Order)
+)
+
+// spliceTail samples the post-prefix fate of the ≤2 unfinished jobs in
+// closed form. Completion draws per job: one uniform per occurrence of
+// its first (partial) tail period, then one uniform for the geometric
+// count of fully failed periods and one for the winning occurrence.
+func (r *oblivRunner) spliceTail(maxSteps int, rng Rand) (int, bool) {
+	c := r.c
+	a, b := -1, -1
+	for j, comp := range r.comp {
+		if comp < 0 {
+			if a < 0 {
+				a = j
+			} else {
+				b = j
+			}
+		}
+	}
+	t0 := c.prefixLen
+	if b < 0 {
+		ta := r.sampleTailJob(a, t0, maxSteps, rng)
+		if ta >= maxSteps {
+			return maxSteps, false
+		}
+		return ta + 1, true
+	}
+	// Orient a ≺ b if the two remaining jobs form a chain; any other
+	// predecessors completed inside the prefix, so b's eligibility is
+	// exactly a's completion (chain) or the tail boundary (independent).
+	for _, pr := range c.in.Prec.Preds(a) {
+		if pr == b {
+			a, b = b, a
+			break
+		}
+	}
+	chain := false
+	for _, pr := range c.in.Prec.Preds(b) {
+		if pr == a {
+			chain = true
+			break
+		}
+	}
+	ta := r.sampleTailJob(a, t0, maxSteps, rng)
+	if chain {
+		if ta >= maxSteps {
+			// b never becomes eligible: no trials, no mass.
+			return maxSteps, false
+		}
+		tb := r.sampleTailJob(b, ta+1, maxSteps, rng)
+		if tb >= maxSteps {
+			return maxSteps, false
+		}
+		return tb + 1, true
+	}
+	tb := r.sampleTailJob(b, t0, maxSteps, rng)
+	if ta >= maxSteps || tb >= maxSteps {
+		return maxSteps, false
+	}
+	if tb > ta {
+		ta = tb
+	}
+	return ta + 1, true
+}
+
+// sampleTailJob samples the completion step of job j, trialed
+// cyclically in the tail from absolute step start on, and accrues j's
+// mass for every trial at or before min(completion, cap). It returns
+// the completion step, or maxSteps when j survives to the cap.
+func (r *oblivRunner) sampleTailJob(j, start, maxSteps int, rng Rand) int {
+	c := r.c
+	if c.spliceMode == spliceRR {
+		return r.sampleTailJobRR(j, start, maxSteps, rng)
+	}
+	L := c.prefixLen
+	lo, hi := int(c.offs[j]), int(c.offs[j+1])
+	if lo == hi {
+		return maxSteps // never assigned: no trials, no mass
+	}
+	// One period's aggregates: failure product and mass, in occurrence
+	// order (the order the step walk would accumulate them).
+	pFail, M := 1.0, 0.0
+	for k := lo; k < hi; k++ {
+		pFail *= 1 - c.succ[k]
+		M += c.mass[k]
+	}
+	// Partial first period: start may fall mid-cycle (a chain successor
+	// becomes eligible at its predecessor's completion). Trial its
+	// remaining occurrences one uniform at a time.
+	p0, r0 := start/L, start%L
+	ks, h := lo, hi
+	for ks < h {
+		mid := int(uint(ks+h) >> 1)
+		if int(c.steps[mid]) < r0 {
+			ks = mid + 1
+		} else {
+			h = mid
+		}
+	}
+	for k := ks; k < hi; k++ {
+		t := p0*L + int(c.steps[k])
+		if t >= maxSteps {
+			return maxSteps
+		}
+		r.mass[j] += c.mass[k]
+		if rng.Float64() < c.succ[k] {
+			return t
+		}
+	}
+	// Whole periods from p0+1: geometric over the per-period success.
+	base := (p0 + 1) * L
+	if base >= maxSteps {
+		return maxSteps
+	}
+	full := (maxSteps - base) / L // complete periods before the cap
+	g := full                     // complete periods that fail
+	if pFail <= 0 {
+		g = 0
+	} else if pFail < 1 {
+		if d := math.Log1p(-rng.Float64()) / math.Log(pFail); d < float64(full) {
+			g = int(d)
+		}
+	}
+	if g < full {
+		// Complete period g succeeds: pick the winning occurrence by
+		// inverse CDF, accruing mass through it.
+		r.mass[j] += float64(g) * M
+		u2 := rng.Float64() * (1 - pFail)
+		pf, cum := 1.0, 0.0
+		pstart := base + g*L
+		for k := lo; k < hi; k++ {
+			r.mass[j] += c.mass[k]
+			cum += pf * c.succ[k]
+			pf *= 1 - c.succ[k]
+			if u2 < cum {
+				return pstart + int(c.steps[k])
+			}
+		}
+		return pstart + int(c.steps[hi-1]) // fp residue: last occurrence
+	}
+	// Every complete period failed (probability pFail^full); walk the
+	// final partial period occurrence by occurrence up to the cap.
+	r.mass[j] += float64(full) * M
+	pstart := base + full*L
+	for k := lo; k < hi; k++ {
+		t := pstart + int(c.steps[k])
+		if t >= maxSteps {
+			break
+		}
+		r.mass[j] += c.mass[k]
+		if rng.Float64() < c.succ[k] {
+			return t
+		}
+	}
+	return maxSteps
+}
+
+// sampleTailJobRR is sampleTailJob for the TopoRoundRobin tail: job j
+// is ganged by every machine once per period, at its position in the
+// order, so its completion is a single geometric draw.
+func (r *oblivRunner) sampleTailJobRR(j, start, maxSteps int, rng Rand) int {
+	c := r.c
+	pos := int(c.tailPos[j])
+	if pos < 0 {
+		return maxSteps // not in the tail order: no trials, no mass
+	}
+	succ, m := c.tailSucc[j], c.tailMass[j]
+	T := c.tailPeriod
+	x := start - c.prefixLen // tail-relative earliest trial step
+	first := pos
+	if x > pos {
+		first = pos + (x-pos+T-1)/T*T
+	}
+	capRel := maxSteps - c.prefixLen
+	if first >= capRel {
+		return maxSteps
+	}
+	avail := (capRel-1-first)/T + 1 // trials before the cap
+	if succ <= 0 {
+		r.mass[j] += float64(avail) * m
+		return maxSteps
+	}
+	fails := avail
+	if succ >= 1 {
+		fails = 0
+	} else if d := math.Log1p(-rng.Float64()) / math.Log(1-succ); d < float64(avail) {
+		fails = int(d)
+	}
+	if fails >= avail {
+		r.mass[j] += float64(avail) * m
+		return maxSteps
+	}
+	r.mass[j] += float64(fails+1) * m
+	return c.prefixLen + first + fails*T
+}

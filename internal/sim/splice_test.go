@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"suu/internal/core"
+	"suu/internal/model"
+	"suu/internal/sched"
+	"suu/internal/workload"
+)
+
+// TestTerminalSpliceExactAnchors pins the spliced samplers against
+// cases with known exact answers, where no Monte Carlo tolerance is
+// needed at all or the tolerance is a tight CLT band.
+func TestTerminalSpliceExactAnchors(t *testing.T) {
+	defer SetBitParallel(BitParallelOff)()
+
+	// One job, p = 1: the splice must report makespan exactly 1.
+	certain := model.New(1, 1)
+	certain.SetAt(0, 0, 1)
+	reg1 := sched.NewRegimen(1, 1)
+	reg1.F[1] = sched.Assignment{0}
+	sum, inc, eng := EstimateInfo(certain, reg1, 500, 100, 3)
+	if eng.Engine != EngineCompiledAdaptive || !eng.Spliced {
+		t.Fatalf("engine %+v, want spliced compiled-adaptive", eng)
+	}
+	if inc != 0 || sum.Mean != 1 || sum.Min != 1 || sum.Max != 1 {
+		t.Errorf("p=1 splice: %+v/%d, want constant makespan 1", sum, inc)
+	}
+
+	// One job, p = 0: pNone = 1, every rep must cap out exactly.
+	stuck := model.New(1, 1)
+	stuck.SetAt(0, 0, 0)
+	sum, inc, _ = EstimateInfo(stuck, reg1, 300, 50, 3)
+	if inc != 300 || sum.Mean != 50 {
+		t.Errorf("p=0 splice: %+v/%d, want all 300 reps capped at 50", sum, inc)
+	}
+
+	// One job, p = 0.5: geometric with mean 2, sampled entirely by the
+	// closed form (the start state is terminal). CLT band at ~6 sigma.
+	half := model.New(1, 1)
+	half.SetAt(0, 0, 0.5)
+	const reps = 20000
+	sum, inc, _ = EstimateInfo(half, reg1, reps, 100000, 7)
+	if inc != 0 {
+		t.Fatalf("geometric splice left %d reps incomplete", inc)
+	}
+	if tol := 6 * math.Sqrt2 / math.Sqrt(reps); math.Abs(sum.Mean-2) > tol {
+		t.Errorf("geometric(1/2) spliced mean %v, want 2 ± %v", sum.Mean, tol)
+	}
+
+	// Capped geometric: P(makespan > 3) = 1/8, so the incomplete count
+	// is Binomial(reps, 1/8); 6-sigma band again.
+	_, inc, _ = EstimateInfo(half, reg1, reps, 3, 11)
+	want := float64(reps) / 8
+	if tol := 6 * math.Sqrt(reps*0.125*0.875); math.Abs(float64(inc)-want) > tol {
+		t.Errorf("capped splice: %d incomplete, want %v ± %v", inc, want, tol)
+	}
+}
+
+// TestTerminalSpliceAdaptiveDistribution checks that splicing changes
+// the draws but not the distribution: spliced and step-by-step
+// estimates of the same policies must agree within Monte Carlo error,
+// and EngineUsed must record which form ran.
+func TestTerminalSpliceAdaptiveDistribution(t *testing.T) {
+	const reps, cap, seed = 6000, 100000, 23
+	cases := map[string]struct {
+		in  *model.Instance
+		pol sched.Policy
+	}{}
+	ind := workload.Independent(workload.Config{Jobs: 8, Machines: 3, Seed: 42})
+	cases["independent-msm"] = struct {
+		in  *model.Instance
+		pol sched.Policy
+	}{ind, &core.AdaptivePolicy{In: ind}}
+	ch := workload.Chains(workload.Config{Jobs: 9, Machines: 3, Seed: 7}, 3)
+	cases["chains-msm"] = struct {
+		in  *model.Instance
+		pol sched.Policy
+	}{ch, &core.AdaptivePolicy{In: ch}}
+
+	for _, mode := range []BitParallelMode{BitParallelOff, BitParallelOn} {
+		for name, tc := range cases {
+			var on, off struct {
+				mean, hw float64
+				inc      int
+			}
+			withMode(mode, func() {
+				restore := SetTerminalSplice(true)
+				sum, inc, eng := EstimateInfo(tc.in, tc.pol, reps, cap, seed)
+				restore()
+				if !eng.Spliced {
+					t.Fatalf("%s mode %d: Spliced not recorded on %+v", name, mode, eng)
+				}
+				on.mean, on.hw, on.inc = sum.Mean, sum.HalfWidth95, inc
+
+				restore = SetTerminalSplice(false)
+				sum, inc, eng = EstimateInfo(tc.in, tc.pol, reps, cap, seed)
+				restore()
+				if eng.Spliced {
+					t.Fatalf("%s mode %d: Spliced recorded with the knob off", name, mode)
+				}
+				off.mean, off.hw, off.inc = sum.Mean, sum.HalfWidth95, inc
+			})
+			tol := 3*(on.hw+off.hw) + 1e-9
+			if math.Abs(on.mean-off.mean) > tol {
+				t.Errorf("%s mode %d: spliced mean %v vs stepped mean %v (tol %v)",
+					name, mode, on.mean, off.mean, tol)
+			}
+			if on.inc != 0 || off.inc != 0 {
+				t.Errorf("%s mode %d: incomplete %d/%d", name, mode, on.inc, off.inc)
+			}
+		}
+	}
+}
+
+// TestTerminalSpliceObliviousTails covers both cyclic tail shapes the
+// oblivious splice samples in closed form — the nil-Tail prefix cycle
+// and the TopoRoundRobin tail — on fixtures small enough that most
+// repetitions outlive the prefix with ≤2 unfinished jobs, i.e. the
+// splice path carries the distribution.
+func TestTerminalSpliceObliviousTails(t *testing.T) {
+	defer SetBitParallel(BitParallelOff)()
+	const reps, cap, seed = 6000, 100000, 41
+
+	pair := model.New(2, 1)
+	pair.SetAt(0, 0, 0.3)
+	pair.SetAt(0, 1, 0.4)
+	chain := model.New(2, 1)
+	chain.SetAt(0, 0, 0.3)
+	chain.SetAt(0, 1, 0.4)
+	chain.Prec.MustEdge(0, 1)
+	alternate := []sched.Assignment{{0}, {1}}
+
+	cases := map[string]struct {
+		in *model.Instance
+		o  *sched.Oblivious
+	}{
+		"cycle-independent": {pair, &sched.Oblivious{M: 1, Steps: alternate}},
+		"cycle-chain":       {chain, &sched.Oblivious{M: 1, Steps: alternate}},
+		"rr-independent": {pair, &sched.Oblivious{M: 1, Steps: alternate,
+			Tail: &sched.TopoRoundRobin{M: 1, Order: []int{0, 1}}}},
+		"rr-chain": {chain, &sched.Oblivious{M: 1, Steps: alternate,
+			Tail: &sched.TopoRoundRobin{M: 1, Order: []int{0, 1}}}},
+	}
+	for name, tc := range cases {
+		restore := SetTerminalSplice(true)
+		sumOn, incOn, eng := EstimateInfo(tc.in, tc.o, reps, cap, seed)
+		restore()
+		if eng.Engine != EngineCompiled || !eng.Spliced {
+			t.Fatalf("%s: engine %+v, want spliced compiled oblivious", name, eng)
+		}
+		restore = SetTerminalSplice(false)
+		sumOff, incOff, _ := EstimateInfo(tc.in, tc.o, reps, cap, seed)
+		restore()
+		tol := 3*(sumOn.HalfWidth95+sumOff.HalfWidth95) + 1e-9
+		if math.Abs(sumOn.Mean-sumOff.Mean) > tol {
+			t.Errorf("%s: spliced mean %v vs stepped mean %v (tol %v)",
+				name, sumOn.Mean, sumOff.Mean, tol)
+		}
+		if incOn != 0 || incOff != 0 {
+			t.Errorf("%s: incomplete %d/%d", name, incOn, incOff)
+		}
+	}
+
+	// A tail shape the splice cannot handle must be recorded as
+	// unspliced and keep the generic continuation.
+	repeated := &sched.Oblivious{M: 1, Steps: alternate,
+		Tail: &sched.TopoRoundRobin{M: 1, Order: []int{0, 1, 0}}}
+	_, _, eng := EstimateInfo(pair, repeated, 300, cap, seed)
+	if eng.Engine != EngineCompiled || eng.Spliced {
+		t.Errorf("repeated-order tail: engine %+v, want unspliced compiled", eng)
+	}
+}
+
+// TestTerminalSpliceDeterministic pins the spliced engines'
+// reproducibility contract: bit-identical summaries at every worker
+// count, for both the scalar and the lane forms.
+func TestTerminalSpliceDeterministic(t *testing.T) {
+	in, o := chainsFixture()
+	apol := &core.AdaptivePolicy{In: in}
+	const reps, cap, seed = 1500, 100000, 13
+	for name, pol := range map[string]sched.Policy{"oblivious": o, "adaptive": apol} {
+		for _, mode := range []BitParallelMode{BitParallelOff, BitParallelOn} {
+			withMode(mode, func() {
+				want, wantInc, eng := EstimateInfo(in, pol, reps, cap, seed)
+				if !eng.Spliced {
+					t.Fatalf("%s mode %d: not spliced: %+v", name, mode, eng)
+				}
+				for _, conc := range []int{4, 0} {
+					got, gotInc, _ := EstimateParallelInfo(in, pol, reps, cap, seed, conc)
+					if got != want || gotInc != wantInc {
+						t.Errorf("%s mode %d concurrency %d: %+v/%d differs from sequential %+v/%d",
+							name, mode, conc, got, gotInc, want, wantInc)
+					}
+				}
+			})
+		}
+	}
+}

@@ -52,6 +52,11 @@ type Result struct {
 	// ExactValue is the exact optimal expected makespan (optimal solver
 	// only).
 	ExactValue float64
+	// ExactStates and ExactTransitions report the value iteration's
+	// closed-state count and materialized successor-table entries
+	// (optimal solver only).
+	ExactStates      int
+	ExactTransitions int64
 	// MaxLoad and Congestion are the chain-pipeline diagnostics Π_max
 	// and post-delay congestion (chain-based solvers only).
 	MaxLoad, Congestion int
