@@ -69,6 +69,7 @@ import (
 	"strings"
 	"time"
 
+	"suu/internal/dispatch"
 	"suu/internal/exp"
 )
 
@@ -180,6 +181,10 @@ func main() {
 		start := time.Now()
 		file := exp.SimBenchmarks(cfg)
 		file.Commit = *commit
+		// The dispatch section is filled here rather than inside
+		// exp.SimBenchmarks: the coordinator lives above exp, so the
+		// benchmark does too.
+		file.Dispatch = dispatch.Benchmark(cfg)
 		out, err := exp.WriteSimBenchJSON(file)
 		if err != nil {
 			log.Fatalf("marshal engine benchmarks: %v", err)

@@ -1,29 +1,54 @@
-// Command suu-grid is the local multi-process sweep coordinator: it
-// cuts a shardable grid table (T13, T14, T10, A2, A5) into contiguous
-// cell ranges, forks one worker process per shard (capped at one
-// running per core), streams each worker's partial-result envelope
-// through a shard file, merges the envelopes with full
-// gap/overlap/fingerprint validation, and renders the exact table the
-// sequential path produces. Cell values are bit-identical to a
-// single-process run by the grid harness's seed contract; only
-// wall-clock columns depend on who computed them.
+// Command suu-grid is the fault-tolerant sweep coordinator: it cuts a
+// shardable grid table (T13, T14, T10, A2, A5) into contiguous cell
+// ranges and drives them through internal/dispatch — a Transport
+// (worker processes, a shared spool directory, or in-process
+// execution) under a Coordinator that owns the robustness policy:
+// per-range deadlines, exponential backoff with deterministic jitter
+// on re-issue, straggler detection with speculative re-slicing,
+// per-runner health scoring with blacklisting, and graceful
+// degradation down to in-process execution. Cell values are
+// bit-identical to a single-process run by the grid harness's seed
+// contract; only wall-clock columns depend on who computed them.
 //
-// A failed or killed worker does not sink the sweep: the merge
-// reports exactly which cell range is missing (exp.MissingRangeError)
-// and the coordinator re-issues just that range, up to -retries times
-// per range, before giving up.
+// Every delivered envelope is validated (range, schema, fingerprint,
+// row indices, payload checksum) before it can reach the merge: a
+// lost, truncated, bit-flipped, misindexed, or misdelivered envelope
+// converts into a typed re-issuable range error, and the sweep either
+// converges to the exact sequential bytes or fails loudly naming the
+// missing [lo:hi) range.
 //
 // Usage:
 //
 //	suu-grid -grid T13                  # shard across all cores
 //	suu-grid -grid T13,T14 -quick       # several tables in sequence
-//	suu-grid -grid T14 -shards 3        # explicit shard count
+//	suu-grid -grid T14 -shards 6        # explicit shard count
 //	suu-grid -grid T13 -retries 2       # re-issue a lost range twice
+//	suu-grid -grid T13 -transport shared-dir -dir spool
+//	                                    # spool job tickets into a
+//	                                    # shared directory; local
+//	                                    # drainers plus any external
+//	                                    # `suu-grid -runner` processes
+//	                                    # execute them
+//	suu-grid -grid T13 -deadline 2m     # per-range hard deadline
+//	suu-grid -grid T13 -straggler-factor 6
+//	                                    # re-slice a range running past
+//	                                    # 6x the median per-cell pace
+//	suu-grid -grid T13 -chaos 0.36 -chaos-seed 51 -verify
+//	                                    # chaos drill: inject all six
+//	                                    # fault classes at a 36% total
+//	                                    # rate and byte-compare the
+//	                                    # merge against the in-process
+//	                                    # run
 //	suu-grid -grid T13 -json out.json   # keep the merged document
-//	suu-grid -grid T13 -verify          # also run the whole plan
-//	                                    # in-process and byte-compare
-//	                                    # the two canonical documents
 //	suu-grid -grid T13 -dir work -keep  # keep the shard envelopes
+//	suu-grid -runner -dir spool         # serve a shared-dir spool:
+//	                                    # claim tickets, write
+//	                                    # envelopes, until interrupted
+//
+// SIGINT/SIGTERM cancel the sweep cleanly: in-flight worker process
+// groups are killed (no orphaned grandchildren), and the coordinator
+// exits non-zero with a partial-results summary naming exactly which
+// cell ranges completed.
 //
 // Workers are re-executions of this binary (-worker mode) running the
 // same plan slice via internal/exp, so the coordinator needs no other
@@ -33,32 +58,38 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"os/exec"
-	"path/filepath"
+	"os/signal"
 	"runtime"
 	"strings"
-	"sync"
+	"syscall"
 	"time"
 
+	"suu/internal/dispatch"
 	"suu/internal/exp"
 )
 
 func main() {
 	var (
-		grids   = flag.String("grid", "", "comma-separated shardable grid tables to run ("+exp.GridDriverIDs()+")")
-		shards  = flag.Int("shards", 0, "worker process count (0 = one per core)")
-		quick   = flag.Bool("quick", false, "smaller sweeps and repetition counts")
-		seed    = flag.Int64("seed", 1, "random seed")
-		retries = flag.Int("retries", 1, "times to re-issue a failed or missing shard range before giving up")
-		jsonP   = flag.String("json", "", "write the merged canonical document here (single -grid only)")
-		dir     = flag.String("dir", "", "shard-file directory (default: a temp dir)")
-		keep    = flag.Bool("keep", false, "keep the shard envelopes instead of deleting them")
-		verify  = flag.Bool("verify", false, "re-run the plan in-process and byte-compare against the merge")
+		grids     = flag.String("grid", "", "comma-separated shardable grid tables to run ("+exp.GridDriverIDs()+")")
+		transport = flag.String("transport", "local", "how ranges reach runners: local (worker processes), shared-dir (spool tickets into -dir), inprocess")
+		shards    = flag.Int("shards", 0, "initial shard-range count (0 = one per core)")
+		quick     = flag.Bool("quick", false, "smaller sweeps and repetition counts")
+		seed      = flag.Int64("seed", 1, "random seed")
+		retries   = flag.Int("retries", 1, "times to re-issue a failed, corrupt, or missing shard range before giving up")
+		deadline  = flag.Duration("deadline", 0, "per-range hard deadline (0 = none); a range past it is killed and re-issued")
+		straggler = flag.Float64("straggler-factor", 4, "speculatively re-slice a range running past this multiple of the median per-cell pace (0 disables)")
+		chaos     = flag.Float64("chaos", 0, "total injected fault rate in [0,1), split across all six fault classes (drop, delay, truncate, bitflip, duplicate, misindex)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the deterministic chaos schedule")
+		jsonP     = flag.String("json", "", "write the merged canonical document here (single -grid only)")
+		dir       = flag.String("dir", "", "shard-envelope / spool directory (default: a temp dir)")
+		keep      = flag.Bool("keep", false, "keep the shard envelopes instead of deleting them")
+		verify    = flag.Bool("verify", false, "re-run the plan in-process and byte-compare against the merge")
 
 		// Worker-mode flags: suu-grid re-executes itself with -worker to
 		// run one shard. Internal, but documented so the process tree
@@ -66,18 +97,38 @@ func main() {
 		worker    = flag.Bool("worker", false, "internal: run one shard and exit")
 		cells     = flag.String("cells", "", "internal: worker cell range a:b")
 		jsonCells = flag.String("json-cells", "", "internal: worker shard-envelope output path")
+
+		runner = flag.Bool("runner", false, "serve a shared-dir spool at -dir: claim job tickets, execute them, write envelopes, until interrupted")
 	)
 	flag.Parse()
-	if *grids == "" {
-		log.Fatal("need -grid (shardable tables: " + exp.GridDriverIDs() + ")")
-	}
 	cfg := exp.Config{Quick: *quick, Seed: *seed}
 
 	if *worker {
+		if *grids == "" {
+			log.Fatal("worker: need -grid")
+		}
 		runWorker(cfg, *grids, *cells, *jsonCells)
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *runner {
+		if *dir == "" {
+			log.Fatal("-runner needs -dir (the shared spool directory)")
+		}
+		fmt.Printf("_serving shared-dir spool %s (interrupt to stop)_\n", *dir)
+		r := &dispatch.SharedDirRunner{Root: *dir}
+		if err := r.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *grids == "" {
+		log.Fatal("need -grid (shardable tables: " + exp.GridDriverIDs() + ")")
+	}
 	ids := strings.Split(*grids, ",")
 	if *jsonP != "" && len(ids) != 1 {
 		log.Fatal("-json needs exactly one -grid table")
@@ -96,13 +147,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	n := *shards
-	if n <= 0 {
-		n = runtime.NumCPU()
+	o := sweepOptions{
+		transport: *transport,
+		shards:    *shards,
+		retries:   *retries,
+		deadline:  *deadline,
+		straggler: *straggler,
+		chaos:     *chaos,
+		chaosSeed: *chaosSeed,
+		workDir:   workDir,
+		jsonPath:  *jsonP,
+		verify:    *verify,
 	}
 	for _, id := range ids {
-		gridID := strings.TrimSpace(id)
-		if err := coordinate(cfg, gridID, n, *retries, workDir, *jsonP, *verify, processWorker(cfg, gridID)); err != nil {
+		if err := coordinate(ctx, cfg, strings.TrimSpace(id), o); err != nil {
+			// A canceled sweep already printed its partial-results
+			// summary; exit non-zero either way.
 			log.Fatal(err)
 		}
 	}
@@ -137,152 +197,188 @@ func runWorker(cfg exp.Config, gridID, cells, outPath string) {
 	}
 }
 
-// workerFunc executes one cell range and writes its shard envelope to
-// outPath. The coordinator only depends on this contract, which is
-// what lets the retry loop be unit-tested with an in-process worker
-// that simulates a killed process.
-type workerFunc func(r exp.CellRange, outPath string) error
-
-// processWorker returns the production workerFunc: re-execute this
-// binary in -worker mode for the range.
-func processWorker(cfg exp.Config, gridID string) workerFunc {
-	exe, err := os.Executable()
-	if err != nil {
-		return func(exp.CellRange, string) error { return err }
-	}
-	return func(r exp.CellRange, outPath string) error {
-		args := []string{
-			"-worker", "-grid", gridID,
-			"-seed", fmt.Sprint(cfg.Seed),
-			"-cells", r.String(),
-			"-json-cells", outPath,
-		}
-		if cfg.Quick {
-			args = append(args, "-quick")
-		}
-		cmd := exec.Command(exe, args...)
-		var out bytes.Buffer
-		cmd.Stdout, cmd.Stderr = &out, &out
-		if err := cmd.Run(); err != nil {
-			return fmt.Errorf("worker %s: %v\n%s", r, err, out.String())
-		}
-		return nil
-	}
+// sweepOptions is everything coordinate needs beyond the experiment
+// config. transports, when non-nil, overrides the backend built from
+// the transport name — the unit-test injection point.
+type sweepOptions struct {
+	transport  string
+	shards     int
+	retries    int
+	deadline   time.Duration
+	straggler  float64
+	chaos      float64
+	chaosSeed  int64
+	workDir    string
+	jsonPath   string
+	verify     bool
+	transports []dispatch.Transport
 }
 
-// coordinate shards one grid table across worker processes, retries
-// lost ranges, and merges the results. Worker failures are survivable
-// — the merge names the missing [lo:hi) range and the coordinator
-// re-issues exactly that range up to `retries` times per range; every
-// other merge failure (overlap, fingerprint mismatch, corrupt
-// envelope) stays fatal, because re-running cannot repair a sweep
-// that is lying about its identity.
-func coordinate(cfg exp.Config, gridID string, shards, retries int, workDir, jsonPath string, verify bool, run workerFunc) error {
+// buildTransports assembles the runner set for the chosen backend.
+// The second return value starts in-process spool drainers for the
+// shared-dir backend (stopped via the returned cancel).
+func buildTransports(ctx context.Context, cfg exp.Config, gridID string, o sweepOptions, opts *dispatch.Options) ([]dispatch.Transport, func(), error) {
+	cleanup := func() {}
+	cores := runtime.NumCPU()
+	var ts []dispatch.Transport
+	switch o.transport {
+	case "local":
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, cleanup, err
+		}
+		for i := 0; i < cores; i++ {
+			ts = append(ts, &dispatch.LocalExec{
+				ID:  fmt.Sprintf("local-%d", i),
+				Exe: exe,
+				Dir: o.workDir,
+				Args: func(job dispatch.Job, outPath string) []string {
+					args := []string{
+						"-worker", "-grid", gridID,
+						"-seed", fmt.Sprint(cfg.Seed),
+						"-cells", job.Range.String(),
+						"-json-cells", outPath,
+					}
+					if cfg.Quick {
+						args = append(args, "-quick")
+					}
+					return args
+				},
+			})
+		}
+	case "shared-dir":
+		// One spool transport; parallelism comes from how many runners
+		// drain it. Local drainers start here so the backend works
+		// standalone; external `suu-grid -runner -dir <spool>` processes
+		// (other machines on a shared filesystem) join the same spool
+		// and claim tickets by atomic rename.
+		sd := &dispatch.SharedDir{ID: "dir:" + o.workDir, Root: o.workDir}
+		ts = append(ts, sd)
+		opts.MaxInFlightPerRunner = cores
+		dctx, dcancel := context.WithCancel(ctx)
+		for i := 0; i < cores; i++ {
+			go func() {
+				r := &dispatch.SharedDirRunner{Root: o.workDir, Poll: 10 * time.Millisecond}
+				r.Run(dctx)
+			}()
+		}
+		cleanup = dcancel
+	case "inprocess":
+		for i := 0; i < cores; i++ {
+			ts = append(ts, &dispatch.InProcess{ID: fmt.Sprintf("inproc-%d", i)})
+		}
+	default:
+		return nil, cleanup, fmt.Errorf("unknown -transport %q (local, shared-dir, inprocess)", o.transport)
+	}
+
+	if o.chaos > 0 {
+		// Chaos wraps a single runner so the per-(range,attempt) fault
+		// schedule is owned by one injector and reproducible by seed;
+		// in-flight parallelism moves to MaxInFlightPerRunner.
+		opts.MaxInFlightPerRunner = cores
+		ts = []dispatch.Transport{&dispatch.Flaky{
+			Inner: ts[0],
+			Cfg: dispatch.FaultConfig{
+				Seed:  o.chaosSeed,
+				Rates: dispatch.UniformRates(o.chaos),
+			},
+		}}
+	}
+	return ts, cleanup, nil
+}
+
+// coordinate runs one grid table through the dispatch layer and
+// renders the merged table. On failure — a range out of re-issue
+// budget, or the sweep interrupted — it prints a partial-results
+// summary naming exactly which cell ranges completed, then returns
+// the error.
+func coordinate(ctx context.Context, cfg exp.Config, gridID string, o sweepOptions) error {
 	g, ok := exp.GridDriverByID(gridID)
 	if !ok {
 		return fmt.Errorf("unknown grid table %q: shardable tables are %s", gridID, exp.GridDriverIDs())
 	}
 	plan := g.Plan(cfg)
 	total := plan.NumCells()
-	ranges := exp.ShardRanges(total, shards)
-	fmt.Printf("# %s: %d cells across %d worker processes (fingerprint %s)\n\n",
-		plan.ID, total, len(ranges), exp.Fingerprint(cfg, plan))
-
-	start := time.Now()
-	paths := make([]string, len(ranges))
-	errs := make([]error, len(ranges))
-	// One running worker per core: the shard count may exceed the
-	// machine (an 8-shard run of a 3-core box), and oversubscribing
-	// cores would only distort the timing columns.
-	sem := make(chan struct{}, runtime.NumCPU())
-	var wg sync.WaitGroup
-	for i, r := range ranges {
-		paths[i] = filepath.Join(workDir, fmt.Sprintf("%s-shard-%d.json", strings.ToLower(plan.ID), i))
-		wg.Add(1)
-		go func(i int, r exp.CellRange) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			errs[i] = run(r, paths[i])
-		}(i, r)
-	}
-	wg.Wait()
-
-	// Collect the envelopes that made it. A worker that failed (or
-	// died without writing) leaves a gap the merge will name; anything
-	// it did write is suspect and excluded.
-	var files []*exp.ShardFile
-	for i, p := range paths {
-		if errs[i] != nil {
-			fmt.Printf("_shard %d %s failed (will re-issue): %v_\n\n", i, ranges[i], errs[i])
-			continue
-		}
-		f, err := readShard(p)
-		if err != nil {
-			fmt.Printf("_shard %d %s unreadable (will re-issue): %v_\n\n", i, ranges[i], err)
-			continue
-		}
-		files = append(files, f)
+	n := o.shards
+	if n <= 0 {
+		n = runtime.NumCPU()
 	}
 
-	// Merge, re-issuing each missing range up to `retries` times. The
-	// merge reports one gap at a time, so several lost workers drain
-	// through successive rounds. Zero surviving envelopes is the
-	// extreme gap — the whole plan is missing — and must enter the
-	// same retry loop, not die on Merge's zero-shards error.
-	attempts := map[exp.CellRange]int{}
-	var m *exp.MergedGrid
-	for {
+	opts := dispatch.Options{
+		Shards:          n,
+		MaxAttempts:     o.retries + 1,
+		Deadline:        o.deadline,
+		StragglerFactor: o.straggler,
+		Seed:            cfg.Seed,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("_"+format+"_\n\n", args...)
+		},
+	}
+	transports := o.transports
+	if transports == nil {
+		var cleanup func()
 		var err error
-		if len(files) == 0 {
-			err = &exp.MissingRangeError{Range: exp.CellRange{Lo: 0, Hi: total}}
-		} else {
-			m, err = exp.Merge(files)
-		}
-		if err == nil {
-			break
-		}
-		var miss *exp.MissingRangeError
-		if !errors.As(err, &miss) {
-			return fmt.Errorf("merge: %v", err)
-		}
-		if attempts[miss.Range] >= retries {
-			return fmt.Errorf("merge: %v (range re-issued %d time(s), giving up)", err, attempts[miss.Range])
-		}
-		attempts[miss.Range]++
-		path := filepath.Join(workDir, fmt.Sprintf("%s-retry-%d-%d-%d.json",
-			strings.ToLower(plan.ID), miss.Range.Lo, miss.Range.Hi, attempts[miss.Range]))
-		fmt.Printf("_re-issuing missing range %s (attempt %d of %d)_\n\n", miss.Range, attempts[miss.Range], retries)
-		if err := run(miss.Range, path); err != nil {
-			// The retry worker failed too; loop so the attempt counter
-			// decides whether to try again or give up.
-			fmt.Printf("_retry of %s failed: %v_\n\n", miss.Range, err)
-			continue
-		}
-		f, err := readShard(path)
+		transports, cleanup, err = buildTransports(ctx, cfg, gridID, o, &opts)
 		if err != nil {
-			fmt.Printf("_retry envelope for %s unreadable: %v_\n\n", miss.Range, err)
-			continue
+			return err
 		}
-		files = append(files, f)
+		defer cleanup()
 	}
-	forkWall := time.Since(start)
+
+	mode := o.transport
+	if o.chaos > 0 {
+		mode = fmt.Sprintf("%s, chaos %.2f seed %d", mode, o.chaos, o.chaosSeed)
+	}
+	fmt.Printf("# %s: %d cells, %d shards across %d runner(s) via %s (fingerprint %s)\n\n",
+		plan.ID, total, n, len(transports), mode, exp.Fingerprint(cfg, plan))
+
+	c := dispatch.New(transports, opts)
+	m, files, stats, err := c.Run(ctx, cfg, gridID, plan)
+	if err != nil {
+		// Partial-results summary: exactly which ranges made it, so a
+		// follow-up sweep (or a human with suu-bench -cells) can resume
+		// surgically.
+		done := dispatch.CompletedRanges(files)
+		cellsDone := 0
+		names := make([]string, len(done))
+		for i, r := range done {
+			names[i] = r.String()
+			cellsDone += r.Len()
+		}
+		if len(names) == 0 {
+			names = []string{"none"}
+		}
+		fmt.Printf("_%s: sweep did not complete; %d/%d cells landed; completed ranges: %s_\n\n",
+			plan.ID, cellsDone, total, strings.Join(names, ", "))
+		return err
+	}
 
 	fmt.Println(g.Render(cfg, exp.ShardResults(files)).Markdown())
-	fmt.Printf("_%s: %d shards forked, run, and merged in %.1fs_\n\n",
-		plan.ID, len(ranges), forkWall.Seconds())
+	fmt.Printf("_%s: %d envelopes accepted in %.1fs (%d re-issues, %d re-slices, %d faults detected, %d degradations)_\n\n",
+		plan.ID, len(files), stats.WallMS/1000, stats.ReIssues, stats.ReSlices, stats.FaultsDetected, stats.Degradations)
+	for _, r := range stats.Runners {
+		if r.Jobs > 0 || r.Failures > 0 || r.Blacklisted {
+			note := ""
+			if r.Blacklisted {
+				note = " [blacklisted]"
+			}
+			fmt.Printf("_runner %s: %d jobs, %d cells, %.0f cells/s, %d failures%s_\n",
+				r.Name, r.Jobs, r.Cells, r.CellsPerSec, r.Failures, note)
+		}
+	}
+	fmt.Println()
 
 	out, err := m.JSON()
 	if err != nil {
 		return err
 	}
-	if jsonPath != "" {
-		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+	if o.jsonPath != "" {
+		if err := os.WriteFile(o.jsonPath, out, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("_merged document written to %s_\n\n", jsonPath)
+		fmt.Printf("_merged document written to %s_\n\n", o.jsonPath)
 	}
-	if verify {
+	if o.verify {
 		want, err := exp.RunMerged(exp.Config{Quick: cfg.Quick, Seed: cfg.Seed}, plan).JSON()
 		if err != nil {
 			return err
@@ -290,16 +386,7 @@ func coordinate(cfg exp.Config, gridID string, shards, retries int, workDir, jso
 		if !bytes.Equal(out, want) {
 			return fmt.Errorf("%s: merged document differs from the in-process sequential run — the hermetic-cell contract is broken", plan.ID)
 		}
-		fmt.Printf("_verify: %d-shard merge is byte-identical to the in-process run (%d bytes)_\n\n", len(ranges), len(out))
+		fmt.Printf("_verify: merge is byte-identical to the in-process run (%d bytes)_\n\n", len(out))
 	}
 	return nil
-}
-
-// readShard loads and decodes one envelope.
-func readShard(path string) (*exp.ShardFile, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return exp.DecodeShardFile(data)
 }

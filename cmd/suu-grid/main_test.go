@@ -1,150 +1,301 @@
 package main
 
 import (
-	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"suu/internal/dispatch"
 	"suu/internal/exp"
 )
 
-// testWorker is an in-process workerFunc that simulates killed worker
-// processes: ranges listed in kill fail (no envelope written) that
-// many times before succeeding. Everything else runs the real
-// exp.RunShard, so the merged output is the production payload.
-func testWorker(t *testing.T, cfg exp.Config, gridID string, kill map[exp.CellRange]int) workerFunc {
-	t.Helper()
-	g, ok := exp.GridDriverByID(gridID)
-	if !ok {
-		t.Fatalf("unknown grid %q", gridID)
+// failNTimes wraps an in-process transport and fails the first N
+// deliveries of chosen ranges — the unit-test stand-in for a worker
+// process dying mid-shard. Coordinate must re-issue those ranges and
+// still merge to the sequential bytes.
+type failNTimes struct {
+	inner dispatch.Transport
+	id    string
+	mu    sync.Mutex
+	fail  map[exp.CellRange]int
+	sends int
+}
+
+func (f *failNTimes) Name() string                      { return f.id }
+func (f *failNTimes) Healthy(ctx context.Context) error { return nil }
+func (f *failNTimes) Close() error                      { return nil }
+
+func (f *failNTimes) Send(ctx context.Context, job dispatch.Job) (*exp.ShardFile, error) {
+	f.mu.Lock()
+	f.sends++
+	if f.fail[job.Range] > 0 {
+		f.fail[job.Range]--
+		f.mu.Unlock()
+		return nil, fmt.Errorf("worker for %v killed (test)", job.Range)
 	}
+	f.mu.Unlock()
+	return f.inner.Send(ctx, job)
+}
+
+// capture runs fn with os.Stdout redirected and returns what it
+// printed: coordinate reports to stdout, and the partial-results
+// summary contract is part of what these tests pin down.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outc := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outc <- string(b)
+	}()
+	ferr := fn()
+	os.Stdout = old
+	w.Close()
+	return <-outc, ferr
+}
+
+func testOptions(t *testing.T, transports []dispatch.Transport) sweepOptions {
+	t.Helper()
+	return sweepOptions{
+		transport:  "inprocess",
+		shards:     4,
+		retries:    2,
+		workDir:    t.TempDir(),
+		verify:     true, // every success must byte-match the sequential run
+		transports: transports,
+	}
+}
+
+func a2Shards(t *testing.T, cfg exp.Config, n int) []exp.CellRange {
+	t.Helper()
+	g, ok := exp.GridDriverByID("A2")
+	if !ok {
+		t.Fatal("A2 driver missing")
+	}
+	full := exp.CellRange{Lo: 0, Hi: g.Plan(cfg).NumCells()}
+	return full.Split(n)
+}
+
+// TestCoordinateRetriesKilledWorker: a range whose first delivery
+// dies is re-issued and the sweep still verifies byte-identical.
+func TestCoordinateRetriesKilledWorker(t *testing.T) {
+	cfg := exp.Config{Quick: true, Seed: 3}
+	shards := a2Shards(t, cfg, 4)
+	ft := &failNTimes{
+		inner: &dispatch.InProcess{},
+		id:    "flaky-0",
+		fail:  map[exp.CellRange]int{shards[1]: 1},
+	}
+	out, err := capture(t, func() error {
+		return coordinate(context.Background(), cfg, "A2", testOptions(t, []dispatch.Transport{ft, &dispatch.InProcess{ID: "ok-0"}}))
+	})
+	if err != nil {
+		t.Fatalf("coordinate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "byte-identical") {
+		t.Errorf("verify line missing from output:\n%s", out)
+	}
+}
+
+// TestCoordinateRetriesWhenEveryWorkerDies: every range fails once on
+// the only runner; all of them must be re-issued to completion.
+func TestCoordinateRetriesWhenEveryWorkerDies(t *testing.T) {
+	cfg := exp.Config{Quick: true, Seed: 3}
+	fail := map[exp.CellRange]int{}
+	for _, r := range a2Shards(t, cfg, 4) {
+		fail[r] = 1
+	}
+	ft := &failNTimes{inner: &dispatch.InProcess{}, id: "flaky-0", fail: fail}
+	o := testOptions(t, []dispatch.Transport{ft})
+	out, err := capture(t, func() error {
+		return coordinate(context.Background(), cfg, "A2", o)
+	})
+	if err != nil {
+		t.Fatalf("coordinate: %v\n%s", err, out)
+	}
+}
+
+// TestCoordinateGivesUpAfterRetries: a range that dies on every
+// attempt exhausts the budget, and the error names the exact missing
+// [lo:hi) so the failure is actionable.
+func TestCoordinateGivesUpAfterRetries(t *testing.T) {
+	cfg := exp.Config{Quick: true, Seed: 3}
+	doomed := a2Shards(t, cfg, 4)[2]
+	ft := &failNTimes{
+		inner: &dispatch.InProcess{},
+		id:    "flaky-0",
+		fail:  map[exp.CellRange]int{doomed: 1 << 20},
+	}
+	o := testOptions(t, []dispatch.Transport{ft})
+	o.retries = 2
+	out, err := capture(t, func() error {
+		return coordinate(context.Background(), cfg, "A2", o)
+	})
+	if err == nil {
+		t.Fatalf("coordinate succeeded with a doomed range\n%s", out)
+	}
+	var rf *dispatch.RangeFailedError
+	if !errors.As(err, &rf) {
+		t.Fatalf("err %T is not a RangeFailedError: %v", err, err)
+	}
+	if rf.Attempts != o.retries+1 {
+		t.Errorf("attempts = %d, want %d", rf.Attempts, o.retries+1)
+	}
+	var miss *exp.MissingRangeError
+	if !errors.As(err, &miss) {
+		t.Fatalf("error does not carry the missing range: %v", err)
+	}
+	if miss.Range != doomed {
+		t.Errorf("missing range %v, want the doomed shard %v", miss.Range, doomed)
+	}
+	want := fmt.Sprintf("[%d:%d)", miss.Range.Lo, miss.Range.Hi)
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name the range %s", err, want)
+	}
+	// Satellite contract: the failure output names what DID land.
+	if !strings.Contains(out, "completed ranges:") {
+		t.Errorf("no partial-results summary in output:\n%s", out)
+	}
+}
+
+// blockForever parks every Send until its context dies — the
+// cancellation test double.
+type blockForever struct{ id string }
+
+func (b *blockForever) Name() string                      { return b.id }
+func (b *blockForever) Healthy(ctx context.Context) error { return nil }
+func (b *blockForever) Close() error                      { return nil }
+func (b *blockForever) Send(ctx context.Context, job dispatch.Job) (*exp.ShardFile, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestCoordinateInterruptPrintsPartialSummary: cancellation (what
+// SIGINT/SIGTERM feed through signal.NotifyContext) stops the sweep
+// promptly, returns the context error, and prints a partial-results
+// summary naming the completed ranges.
+func TestCoordinateInterruptPrintsPartialSummary(t *testing.T) {
+	cfg := exp.Config{Quick: true, Seed: 3}
+	// One runner delivers honestly, the other blocks; after the honest
+	// runner has had time to land something, "interrupt" the sweep.
+	ft := &failNTimes{inner: &dispatch.InProcess{}, id: "half-0"}
+	slow := &blockForever{id: "stuck-0"}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	o := testOptions(t, []dispatch.Transport{ft, slow})
+	o.verify = false
+	out, err := capture(t, func() error {
+		return coordinate(ctx, cfg, "A2", o)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted coordinate: err = %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "sweep did not complete") || !strings.Contains(out, "completed ranges:") {
+		t.Errorf("no partial-results summary:\n%s", out)
+	}
+}
+
+// TestCoordinateChaosSmoke: the CLI chaos path — Flaky wrapping the
+// runner set via -chaos — still converges to verified parity.
+func TestCoordinateChaosSmoke(t *testing.T) {
+	cfg := exp.Config{Quick: true, Seed: 7}
+	o := sweepOptions{
+		transport: "inprocess",
+		shards:    5,
+		retries:   11,
+		chaos:     0.36,
+		chaosSeed: 51,
+		workDir:   t.TempDir(),
+		verify:    true,
+	}
+	out, err := capture(t, func() error {
+		return coordinate(context.Background(), cfg, "A2", o)
+	})
+	if err != nil {
+		t.Fatalf("chaos coordinate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "byte-identical") {
+		t.Errorf("chaos sweep not verified:\n%s", out)
+	}
+}
+
+// TestCoordinateBadInputs: unknown grid tables and transports fail
+// fast with the valid choices in the message.
+func TestCoordinateBadInputs(t *testing.T) {
+	cfg := exp.Config{Quick: true, Seed: 3}
+	if _, err := capture(t, func() error {
+		return coordinate(context.Background(), cfg, "T99", testOptions(t, []dispatch.Transport{&dispatch.InProcess{}}))
+	}); err == nil || !strings.Contains(err.Error(), "unknown grid table") {
+		t.Errorf("unknown grid: err = %v", err)
+	}
+	o := sweepOptions{transport: "carrier-pigeon", shards: 2, workDir: t.TempDir()}
+	if _, err := capture(t, func() error {
+		return coordinate(context.Background(), cfg, "A2", o)
+	}); err == nil || !strings.Contains(err.Error(), "unknown -transport") {
+		t.Errorf("unknown transport: err = %v", err)
+	}
+}
+
+// TestRunWorkerWritesValidEnvelope: the -worker mode contract that
+// LocalExec relies on — parse the range, run the shard, write an
+// envelope that passes full validation.
+func TestRunWorkerWritesValidEnvelope(t *testing.T) {
+	cfg := exp.Config{Quick: true, Seed: 9}
+	out := filepath.Join(t.TempDir(), "shard.json")
+	runWorker(cfg, "A2", "1:3", out)
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("worker wrote nothing: %v", err)
+	}
+	f, err := exp.DecodeShardFile(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	g, _ := exp.GridDriverByID("A2")
 	wcfg := cfg
 	wcfg.Workers = 1
 	plan := g.Plan(wcfg)
-	var mu sync.Mutex
-	return func(r exp.CellRange, outPath string) error {
-		mu.Lock()
-		if kill[r] > 0 {
-			kill[r]--
-			mu.Unlock()
-			return os.ErrProcessDone // stands in for a killed worker
-		}
-		mu.Unlock()
-		data, err := exp.EncodeShardFile(exp.RunShard(wcfg, exp.ShardSpec{Plan: plan, Range: r}))
-		if err != nil {
-			return err
-		}
-		return os.WriteFile(outPath, data, 0o644)
+	if err := exp.ValidateShardFile(f, exp.CellRange{Lo: 1, Hi: 3}, exp.Fingerprint(wcfg, plan), plan.NumCells()); err != nil {
+		t.Errorf("worker envelope invalid: %v", err)
 	}
 }
 
-// TestCoordinateRetriesKilledWorker is the shard-level retry
-// acceptance test: one worker of a 3-shard A2 sweep dies without
-// writing its envelope, the coordinator parses the missing [lo:hi)
-// range out of the merge error, re-issues exactly that range, and the
-// final merged document is byte-identical to the in-process
-// sequential run.
-func TestCoordinateRetriesKilledWorker(t *testing.T) {
-	cfg := exp.Config{Quick: true, Seed: 5}
-	g, _ := exp.GridDriverByID("A2")
-	plan := g.Plan(cfg)
-	ranges := exp.ShardRanges(plan.NumCells(), 3)
-	if len(ranges) != 3 || ranges[1].Len() == 0 {
-		t.Fatalf("fixture needs 3 non-trivial shards, got %v", ranges)
+// TestCoordinateSharedDirBackend: the real shared-dir wiring — spool
+// transport plus in-process drainers from buildTransports — end to
+// end through coordinate.
+func TestCoordinateSharedDirBackend(t *testing.T) {
+	cfg := exp.Config{Quick: true, Seed: 3}
+	o := sweepOptions{
+		transport: "shared-dir",
+		shards:    3,
+		retries:   1,
+		workDir:   t.TempDir(),
+		verify:    true,
 	}
-	dir := t.TempDir()
-	jsonPath := filepath.Join(dir, "merged.json")
-	kill := map[exp.CellRange]int{ranges[1]: 1} // middle worker dies once
-	if err := coordinate(cfg, "A2", 3, 1, dir, jsonPath, false, testWorker(t, cfg, "A2", kill)); err != nil {
-		t.Fatalf("coordinate with one killed worker: %v", err)
-	}
-	got, err := os.ReadFile(jsonPath)
+	out, err := capture(t, func() error {
+		return coordinate(context.Background(), cfg, "A2", o)
+	})
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("shared-dir coordinate: %v\n%s", err, out)
 	}
-	want, err := exp.RunMerged(cfg, plan).JSON()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Error("retried sweep's merged document differs from the sequential run")
-	}
-}
-
-// TestCoordinateRetriesWhenEveryWorkerDies: total failure — zero
-// surviving envelopes — is the extreme gap and must enter the same
-// retry loop (a single re-issued full-range worker repairs it)
-// instead of dying on Merge's zero-shards error.
-func TestCoordinateRetriesWhenEveryWorkerDies(t *testing.T) {
-	cfg := exp.Config{Quick: true, Seed: 5}
-	g, _ := exp.GridDriverByID("A2")
-	plan := g.Plan(cfg)
-	total := plan.NumCells()
-	kill := map[exp.CellRange]int{}
-	for _, r := range exp.ShardRanges(total, 3) {
-		kill[r] = 1 // every initial worker dies once
-	}
-	dir := t.TempDir()
-	jsonPath := filepath.Join(dir, "merged.json")
-	if err := coordinate(cfg, "A2", 3, 1, dir, jsonPath, false, testWorker(t, cfg, "A2", kill)); err != nil {
-		t.Fatalf("coordinate with all workers killed once: %v", err)
-	}
-	got, err := os.ReadFile(jsonPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want, err := exp.RunMerged(cfg, plan).JSON()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Error("fully-retried sweep's merged document differs from the sequential run")
-	}
-}
-
-// TestCoordinateGivesUpAfterRetries: a range that keeps dying must
-// fail the sweep after -retries re-issues, with the missing range in
-// the error.
-func TestCoordinateGivesUpAfterRetries(t *testing.T) {
-	cfg := exp.Config{Quick: true, Seed: 5}
-	g, _ := exp.GridDriverByID("A2")
-	ranges := exp.ShardRanges(g.Plan(cfg).NumCells(), 3)
-	kill := map[exp.CellRange]int{ranges[2]: 100} // tail worker always dies
-	err := coordinate(cfg, "A2", 3, 2, t.TempDir(), "", false, testWorker(t, cfg, "A2", kill))
-	if err == nil {
-		t.Fatal("coordinate succeeded despite a permanently failing range")
-	}
-	if !strings.Contains(err.Error(), "missing cell range") || !strings.Contains(err.Error(), "giving up") {
-		t.Errorf("error %q does not name the missing range and the exhausted retries", err)
-	}
-}
-
-// TestCoordinateAdjacentFailuresMergeIntoOneReissue: two adjacent
-// dead workers surface as a single missing range, which one re-issued
-// worker repairs.
-func TestCoordinateAdjacentFailuresMergeIntoOneReissue(t *testing.T) {
-	cfg := exp.Config{Quick: true, Seed: 5}
-	g, _ := exp.GridDriverByID("A2")
-	plan := g.Plan(cfg)
-	ranges := exp.ShardRanges(plan.NumCells(), 4)
-	kill := map[exp.CellRange]int{ranges[1]: 1, ranges[2]: 1}
-	dir := t.TempDir()
-	jsonPath := filepath.Join(dir, "merged.json")
-	if err := coordinate(cfg, "A2", 4, 1, dir, jsonPath, false, testWorker(t, cfg, "A2", kill)); err != nil {
-		t.Fatalf("coordinate with two adjacent killed workers: %v", err)
-	}
-	got, err := os.ReadFile(jsonPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want, err := exp.RunMerged(cfg, plan).JSON()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Error("repaired sweep's merged document differs from the sequential run")
+	if !strings.Contains(out, "byte-identical") {
+		t.Errorf("shared-dir sweep not verified:\n%s", out)
 	}
 }

@@ -1,0 +1,113 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"suu/internal/exp"
+)
+
+// Benchmark measures the dispatch layer for the BENCH_sim.json
+// dispatch section: the T13 sweep coordinated fault-free across
+// in-process runners, then the same sweep under heavy injected chaos
+// (all six fault classes, straggler re-slicing armed) — recording
+// per-runner throughput, the robustness counters, and the wall-clock
+// overhead of surviving the faults. Parity between the two merges is
+// checked and recorded; it failing would be a dispatch bug, not a
+// perf regression.
+func Benchmark(cfg exp.Config) *exp.DispatchBench {
+	const (
+		gridID    = "T13"
+		runners   = 4
+		chaosRate = 0.36
+		chaosSeed = 51
+	)
+	b := &exp.DispatchBench{Grid: gridID, ChaosRate: chaosRate}
+	g, ok := exp.GridDriverByID(gridID)
+	if !ok {
+		b.Error = "grid driver missing"
+		return b
+	}
+	bcfg := exp.Config{Quick: cfg.Quick, Seed: cfg.Seed, Workers: 1}
+	plan := g.Plan(bcfg)
+	b.Cells = plan.NumCells()
+	b.Shards = plan.NumCells() / 2
+	if b.Shards < runners {
+		b.Shards = runners
+	}
+
+	mkTransports := func(chaos bool) ([]Transport, *Flaky) {
+		var flaky *Flaky
+		ts := make([]Transport, runners)
+		for i := range ts {
+			ts[i] = &InProcess{ID: fmt.Sprintf("inproc-%d", i)}
+		}
+		if chaos {
+			// One shared injector: the fault schedule is per (range,
+			// attempt), so every runner sees the same chaos.
+			flaky = &Flaky{Inner: &InProcess{}, Cfg: FaultConfig{
+				Seed:     chaosSeed,
+				Rates:    UniformRates(chaosRate),
+				MaxDelay: 100 * time.Millisecond,
+			}}
+			for i := range ts {
+				ts[i] = flaky
+			}
+		}
+		return ts, flaky
+	}
+	opts := func(seed int64) Options {
+		return Options{
+			Shards:          b.Shards,
+			MaxAttempts:     12,
+			StragglerFactor: 3,
+			CheckInterval:   5 * time.Millisecond,
+			MinStragglerAge: 25 * time.Millisecond,
+			BackoffBase:     time.Millisecond,
+			BackoffMax:      20 * time.Millisecond,
+			Seed:            seed,
+		}
+	}
+
+	ts, _ := mkTransports(false)
+	cleanM, _, cleanStats, err := New(ts, opts(1)).Run(context.Background(), bcfg, gridID, plan)
+	if err != nil {
+		b.Error = fmt.Sprintf("fault-free sweep: %v", err)
+		return b
+	}
+	b.CleanWallMS = cleanStats.WallMS
+	for _, r := range cleanStats.Runners {
+		b.Runners = append(b.Runners, exp.DispatchRunnerBench{
+			Name: r.Name, Jobs: r.Jobs, Cells: r.Cells, Failures: r.Failures, CellsPerSec: r.CellsPerSec,
+		})
+	}
+
+	ts, flaky := mkTransports(true)
+	chaosM, _, chaosStats, err := New(ts, opts(chaosSeed)).Run(context.Background(), bcfg, gridID, plan)
+	if err != nil {
+		b.Error = fmt.Sprintf("chaos sweep: %v", err)
+		return b
+	}
+	b.ChaosWallMS = chaosStats.WallMS
+	b.FaultsDetected = chaosStats.FaultsDetected
+	b.ReIssues = chaosStats.ReIssues
+	b.ReSlices = chaosStats.ReSlices
+	b.Degradations = chaosStats.Degradations
+	b.FaultsInjected = map[string]int{}
+	for f, n := range flaky.Injected() {
+		b.FaultsInjected[string(f)] = n
+	}
+	if b.CleanWallMS > 0 {
+		b.OverheadPct = (b.ChaosWallMS - b.CleanWallMS) / b.CleanWallMS * 100
+	}
+
+	cleanJSON, err1 := cleanM.JSON()
+	chaosJSON, err2 := chaosM.JSON()
+	b.Parity = err1 == nil && err2 == nil && bytes.Equal(cleanJSON, chaosJSON)
+	if !b.Parity {
+		b.Error = "chaos merge NOT byte-identical to fault-free merge"
+	}
+	return b
+}

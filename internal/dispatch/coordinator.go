@@ -1,0 +1,638 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"suu/internal/exp"
+	"suu/internal/sim"
+)
+
+// Options tunes the Coordinator's robustness policy. The zero value
+// is usable: 3 delivery attempts per range, no hard deadline,
+// straggler re-slicing at 4x the median per-cell pace, blacklisting
+// after 3 consecutive failures, degradation to in-process execution.
+type Options struct {
+	// Shards is the initial number of ranges the plan is cut into
+	// (0 = one per runner).
+	Shards int
+	// MaxAttempts bounds delivery attempts per exact range before the
+	// sweep fails loudly with that range (default 3). Re-sliced
+	// sub-ranges are new ranges with fresh budgets.
+	MaxAttempts int
+	// Deadline is the per-range hard deadline (0 = none): a delivery
+	// running past it is killed (where the transport can) and
+	// re-issued with backoff.
+	Deadline time.Duration
+	// StragglerFactor is the speculative re-slice trigger: a range
+	// running past StragglerFactor x the median per-cell completion
+	// time (scaled by its cell count) is split into SplitInto
+	// sub-ranges that are dispatched alongside the still-running
+	// original — first valid result wins, losers are discarded.
+	// 0 disables re-slicing; values < 1 are treated as 1.
+	StragglerFactor float64
+	// SplitInto is the sub-range count per re-slice (default 2).
+	SplitInto int
+	// BackoffBase seeds the exponential re-issue backoff (default
+	// 5ms): attempt k waits BackoffBase·2^k plus deterministic jitter
+	// in [0, wait/2), capped at BackoffMax.
+	BackoffBase time.Duration
+	// BackoffMax caps the re-issue backoff (default 1s).
+	BackoffMax time.Duration
+	// FailThreshold blacklists a runner after this many consecutive
+	// failed or faulty deliveries (default 3). Blacklisting is for
+	// the sweep's lifetime; a successful delivery resets the count.
+	FailThreshold int
+	// MaxInFlightPerRunner bounds concurrent jobs per runner
+	// (default 1 — one worker process per core is the LocalExec
+	// contract; SharedDir transports want this raised to the number
+	// of external runners draining the spool).
+	MaxInFlightPerRunner int
+	// CheckInterval is the straggler-scan period (default 20ms).
+	CheckInterval time.Duration
+	// MinStragglerAge floors the straggler trigger so sub-millisecond
+	// medians cannot cause re-slice storms (default 50ms).
+	MinStragglerAge time.Duration
+	// Seed drives the deterministic backoff jitter.
+	Seed int64
+	// Fallback is the degradation target once every runner is
+	// blacklisted (nil = a fresh InProcess transport). If the
+	// fallback blacklists too, the sweep fails.
+	Fallback Transport
+	// Logf receives progress notes (re-issues, re-slices,
+	// blacklistings); nil is silent.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) maxAttempts() int {
+	if o.MaxAttempts <= 0 {
+		return 3
+	}
+	return o.MaxAttempts
+}
+
+func (o Options) splitInto() int {
+	if o.SplitInto < 2 {
+		return 2
+	}
+	return o.SplitInto
+}
+
+func (o Options) backoffBase() time.Duration {
+	if o.BackoffBase <= 0 {
+		return 5 * time.Millisecond
+	}
+	return o.BackoffBase
+}
+
+func (o Options) backoffMax() time.Duration {
+	if o.BackoffMax <= 0 {
+		return time.Second
+	}
+	return o.BackoffMax
+}
+
+func (o Options) failThreshold() int {
+	if o.FailThreshold <= 0 {
+		return 3
+	}
+	return o.FailThreshold
+}
+
+func (o Options) perRunner() int {
+	if o.MaxInFlightPerRunner <= 0 {
+		return 1
+	}
+	return o.MaxInFlightPerRunner
+}
+
+func (o Options) checkInterval() time.Duration {
+	if o.CheckInterval <= 0 {
+		return 20 * time.Millisecond
+	}
+	return o.CheckInterval
+}
+
+func (o Options) minStragglerAge() time.Duration {
+	if o.MinStragglerAge <= 0 {
+		return 50 * time.Millisecond
+	}
+	return o.MinStragglerAge
+}
+
+// RunnerStats records one runner's sweep-lifetime contribution — the
+// throughput record future planners weight splits with.
+type RunnerStats struct {
+	Name string `json:"name"`
+	// Jobs and Cells count accepted deliveries only.
+	Jobs  int `json:"jobs"`
+	Cells int `json:"cells"`
+	// Failures counts failed or faulty deliveries.
+	Failures int `json:"failures"`
+	// CellsPerSec is accepted cells per busy second.
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// BusyMS is total wall-clock spent with jobs in flight on this
+	// runner (summed across concurrent flights).
+	BusyMS      float64 `json:"busy_ms"`
+	Blacklisted bool    `json:"blacklisted,omitempty"`
+}
+
+// Stats is the sweep-level robustness record.
+type Stats struct {
+	Runners []RunnerStats `json:"runners"`
+	// ReIssues counts ranges re-dispatched after a failed or faulty
+	// delivery.
+	ReIssues int `json:"re_issues"`
+	// ReSlices counts straggler ranges speculatively split.
+	ReSlices int `json:"re_slices"`
+	// Degradations counts falls to the fallback runner.
+	Degradations int `json:"degradations"`
+	// FaultsDetected counts deliveries rejected by validation
+	// (corruption, misdelivery, transport errors).
+	FaultsDetected int `json:"faults_detected"`
+	// Discarded counts valid envelopes thrown away because another
+	// delivery covered their cells first (speculative losers,
+	// duplicates).
+	Discarded int     `json:"discarded"`
+	WallMS    float64 `json:"wall_ms"`
+}
+
+// RangeFailedError is the loud failure: a range exhausted its
+// delivery attempts. It unwraps to *exp.MissingRangeError naming
+// exactly the cells the merged output is missing.
+type RangeFailedError struct {
+	Range    exp.CellRange
+	Attempts int
+	Last     error
+}
+
+func (e *RangeFailedError) Error() string {
+	return fmt.Sprintf("dispatch: range [%d:%d) failed %d delivery attempt(s), giving up: %v",
+		e.Range.Lo, e.Range.Hi, e.Attempts, e.Last)
+}
+
+func (e *RangeFailedError) Unwrap() []error {
+	errs := []error{&exp.MissingRangeError{Range: e.Range}}
+	if e.Last != nil {
+		errs = append(errs, e.Last)
+	}
+	return errs
+}
+
+// Coordinator drives a sweep across a set of runners with the full
+// robustness policy. Construct with New, run with Run.
+type Coordinator struct {
+	opt     Options
+	runners []*runnerState
+}
+
+type runnerState struct {
+	t           Transport
+	inflight    int
+	consecFails int
+	blacklisted bool
+	jobs, cells int
+	failures    int
+	busy        time.Duration
+}
+
+// New builds a Coordinator over the given runners. Every transport
+// is one runner with its own health score; pass several LocalExec
+// instances for a multi-process box, or one SharedDir with
+// MaxInFlightPerRunner raised.
+func New(transports []Transport, opt Options) *Coordinator {
+	c := &Coordinator{opt: opt}
+	for _, t := range transports {
+		c.runners = append(c.runners, &runnerState{t: t})
+	}
+	return c
+}
+
+// workItem is one pending dispatch of a range.
+type workItem struct {
+	r exp.CellRange
+	// attempt counts deliveries already tried for this exact range.
+	attempt int
+	// last holds the most recent failure, for the giving-up error.
+	last error
+}
+
+// flight is one in-flight dispatch.
+type flight struct {
+	item     workItem
+	runner   int
+	started  time.Time
+	cancel   context.CancelFunc
+	resliced bool
+}
+
+// result is what a flight goroutine reports back.
+type flightResult struct {
+	id      int
+	env     *exp.ShardFile
+	err     error
+	elapsed time.Duration
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opt.Logf != nil {
+		c.opt.Logf(format, args...)
+	}
+}
+
+// Run executes the plan across the runners and returns the merged
+// canonical document, the accepted envelopes (for table rendering
+// with per-process timings), and the robustness stats. On failure —
+// a range out of attempts, every runner dead, or ctx canceled — the
+// accepted envelopes and stats still come back so the caller can
+// report exactly which ranges completed.
+func (c *Coordinator) Run(ctx context.Context, cfg exp.Config, gridID string, plan exp.GridPlan) (*exp.MergedGrid, []*exp.ShardFile, *Stats, error) {
+	start := time.Now()
+	stats := &Stats{}
+	finish := func(m *exp.MergedGrid, files []*exp.ShardFile, err error) (*exp.MergedGrid, []*exp.ShardFile, *Stats, error) {
+		stats.WallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+		for _, r := range c.runners {
+			rs := RunnerStats{
+				Name:        r.t.Name(),
+				Jobs:        r.jobs,
+				Cells:       r.cells,
+				Failures:    r.failures,
+				BusyMS:      float64(r.busy.Nanoseconds()) / 1e6,
+				Blacklisted: r.blacklisted,
+			}
+			if r.busy > 0 {
+				rs.CellsPerSec = float64(r.cells) / r.busy.Seconds()
+			}
+			stats.Runners = append(stats.Runners, rs)
+		}
+		return m, files, stats, err
+	}
+
+	if len(c.runners) == 0 {
+		return finish(nil, nil, errors.New("dispatch: no runners"))
+	}
+	total := plan.NumCells()
+	if total == 0 {
+		// The degenerate sweep: one empty envelope tiles it.
+		m := exp.RunMerged(cfg, plan)
+		return finish(m, nil, nil)
+	}
+
+	// Probe health up front: a runner that cannot even answer starts
+	// blacklisted instead of eating the first wave of jobs.
+	for _, r := range c.runners {
+		if err := r.t.Healthy(ctx); err != nil {
+			r.blacklisted = true
+			c.logf("runner %s unhealthy at start, blacklisting: %v", r.t.Name(), err)
+		}
+	}
+
+	shards := c.opt.Shards
+	if shards <= 0 {
+		shards = len(c.runners)
+	}
+	var pending []workItem
+	for _, r := range exp.ShardRanges(total, shards) {
+		if r.Len() > 0 {
+			pending = append(pending, workItem{r: r})
+		}
+	}
+
+	results := make(chan flightResult)
+	requeue := make(chan workItem)
+	loopDone := make(chan struct{})
+	defer close(loopDone)
+	ticker := time.NewTicker(c.opt.checkInterval())
+	defer ticker.Stop()
+
+	var (
+		flights    = map[int]*flight{}
+		nextFlight int
+		accepted   []*exp.ShardFile
+		covered    []exp.CellRange // disjoint, kept sorted
+		coveredN   int
+		backoffs   int // items parked in AfterFunc timers
+		perCell    []time.Duration
+		failErr    error
+		canceled   bool
+	)
+
+	coveredBy := func(r exp.CellRange) bool {
+		// Is r fully inside the accepted union?
+		need := r.Lo
+		for _, cv := range covered {
+			if cv.Lo > need {
+				return false
+			}
+			if cv.Hi > need {
+				need = cv.Hi
+			}
+			if need >= r.Hi {
+				return true
+			}
+		}
+		return need >= r.Hi
+	}
+	overlapsAccepted := func(r exp.CellRange) bool {
+		for _, cv := range covered {
+			if cv.Overlaps(r) {
+				return true
+			}
+		}
+		return false
+	}
+	medianPerCell := func() (time.Duration, bool) {
+		if len(perCell) < 3 {
+			return 0, false
+		}
+		s := append([]time.Duration(nil), perCell...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[len(s)/2], true
+	}
+
+	// pickRunner returns the healthiest free runner, degrading to the
+	// fallback when everyone is blacklisted. -1 means no capacity
+	// right now; -2 means the sweep cannot continue.
+	pickRunner := func() int {
+		best, bestIn := -1, 0
+		alive := false
+		for i, r := range c.runners {
+			if r.blacklisted {
+				continue
+			}
+			alive = true
+			if r.inflight >= c.opt.perRunner() {
+				continue
+			}
+			if best == -1 || r.inflight < bestIn {
+				best, bestIn = i, r.inflight
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		if alive {
+			return -1 // capacity will free up
+		}
+		// Everyone is blacklisted: degrade. The fallback joins as a
+		// fresh runner exactly once; if it dies too, the sweep fails.
+		for _, r := range c.runners {
+			if !r.blacklisted {
+				return -1
+			}
+		}
+		fb := c.opt.Fallback
+		if fb == nil {
+			fb = &InProcess{ID: fmt.Sprintf("inproc-fallback-%d", stats.Degradations)}
+		}
+		for _, r := range c.runners {
+			if r.t == fb {
+				return -2 // fallback already enlisted and blacklisted
+			}
+		}
+		stats.Degradations++
+		c.logf("all runners blacklisted; degrading to %s", fb.Name())
+		c.runners = append(c.runners, &runnerState{t: fb})
+		return len(c.runners) - 1
+	}
+
+	launch := func(item workItem, runnerIdx int) {
+		r := c.runners[runnerIdx]
+		r.inflight++
+		fctx, cancel := context.WithCancel(ctx)
+		if c.opt.Deadline > 0 {
+			fctx, cancel = context.WithDeadline(ctx, time.Now().Add(c.opt.Deadline))
+		}
+		id := nextFlight
+		nextFlight++
+		flights[id] = &flight{item: item, runner: runnerIdx, started: time.Now(), cancel: cancel}
+		job := NewJob(cfg, gridID, plan, item.r)
+		t := r.t
+		go func() {
+			s := time.Now()
+			env, err := t.Send(fctx, job)
+			cancel()
+			select {
+			case results <- flightResult{id: id, env: env, err: err, elapsed: time.Since(s)}:
+			case <-loopDone:
+			}
+		}()
+	}
+
+	issue := func() {
+		for len(pending) > 0 {
+			idx := pickRunner()
+			if idx == -1 {
+				return
+			}
+			if idx == -2 {
+				if failErr == nil {
+					failErr = fmt.Errorf("dispatch: every runner including the fallback is blacklisted; %d cells undelivered", total-coveredN)
+				}
+				return
+			}
+			item := pending[0]
+			pending = pending[1:]
+			if coveredBy(item.r) {
+				continue // a speculative twin already landed
+			}
+			launch(item, idx)
+		}
+	}
+
+	// park schedules a re-issue after exponential backoff with
+	// deterministic jitter.
+	park := func(item workItem) {
+		d := c.opt.backoffBase() << (item.attempt - 1)
+		if d > c.opt.backoffMax() {
+			d = c.opt.backoffMax()
+		}
+		js := sim.NewStream(sim.SeedFor(c.opt.Seed, "backoff", int64(item.r.Lo), int64(item.r.Hi), int64(item.attempt)))
+		d += time.Duration(js.Float64() * float64(d) / 2)
+		backoffs++
+		time.AfterFunc(d, func() {
+			select {
+			case requeue <- item:
+			case <-loopDone:
+			}
+		})
+	}
+
+	handle := func(res flightResult) {
+		f := flights[res.id]
+		delete(flights, res.id)
+		f.cancel()
+		r := c.runners[f.runner]
+		r.inflight--
+		r.busy += res.elapsed
+
+		if failErr != nil || canceled {
+			return // draining; nothing to act on
+		}
+		if coveredBy(f.item.r) {
+			// A speculative twin won while this flight ran; whatever it
+			// brought back is redundant. Not a runner failure.
+			stats.Discarded++
+			return
+		}
+		err := res.err
+		if err == nil {
+			err = validateDelivery(NewJob(cfg, gridID, plan, f.item.r), res.env)
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				canceled = true
+				return
+			}
+			stats.FaultsDetected++
+			r.failures++
+			r.consecFails++
+			if !r.blacklisted && r.consecFails >= c.opt.failThreshold() {
+				r.blacklisted = true
+				c.logf("runner %s blacklisted after %d consecutive failures", r.t.Name(), r.consecFails)
+			}
+			item := f.item
+			item.attempt++
+			item.last = err
+			if item.attempt >= c.opt.maxAttempts() {
+				failErr = &RangeFailedError{Range: item.r, Attempts: item.attempt, Last: err}
+				return
+			}
+			stats.ReIssues++
+			c.logf("delivery of %s faulted (%v); re-issuing (attempt %d of %d)", item.r, err, item.attempt+1, c.opt.maxAttempts())
+			park(item)
+			return
+		}
+
+		// A valid envelope for exactly the requested range. If any of
+		// its cells are already covered the whole envelope is redundant
+		// (re-slices align, so partial overlap means a twin landed).
+		if overlapsAccepted(f.item.r) {
+			stats.Discarded++
+			return
+		}
+		r.consecFails = 0
+		r.jobs++
+		r.cells += f.item.r.Len()
+		accepted = append(accepted, res.env)
+		covered = append(covered, f.item.r)
+		sort.Slice(covered, func(i, j int) bool { return covered[i].Lo < covered[j].Lo })
+		coveredN += f.item.r.Len()
+		if n := f.item.r.Len(); n > 0 {
+			perCell = append(perCell, res.elapsed/time.Duration(n))
+		}
+		// Cancel speculative flights whose cells are now fully covered.
+		for _, fl := range flights {
+			if coveredBy(fl.item.r) {
+				fl.cancel()
+			}
+		}
+	}
+
+	reslice := func() {
+		med, ok := medianPerCell()
+		if !ok || c.opt.StragglerFactor <= 0 {
+			return
+		}
+		k := c.opt.StragglerFactor
+		if k < 1 {
+			k = 1
+		}
+		for _, f := range flights {
+			if f.resliced || f.item.r.Len() < 2 {
+				continue
+			}
+			limit := time.Duration(k * float64(med) * float64(f.item.r.Len()))
+			if limit < c.opt.minStragglerAge() {
+				limit = c.opt.minStragglerAge()
+			}
+			if time.Since(f.started) < limit {
+				continue
+			}
+			f.resliced = true
+			stats.ReSlices++
+			parts := f.item.r.Split(c.opt.splitInto())
+			c.logf("range %s straggling (past %s); speculatively re-slicing into %d sub-ranges", f.item.r, limit, c.opt.splitInto())
+			for _, p := range parts {
+				if p.Len() > 0 && !coveredBy(p) {
+					pending = append(pending, workItem{r: p})
+				}
+			}
+		}
+	}
+
+	for {
+		issue()
+		if failErr != nil || canceled || coveredN == total {
+			if len(flights) == 0 && backoffs == 0 {
+				break
+			}
+			if coveredN == total || failErr != nil || canceled {
+				for _, f := range flights {
+					f.cancel()
+				}
+			}
+			if len(flights) == 0 {
+				// Only parked backoff items remain; they are moot.
+				break
+			}
+		}
+		select {
+		case res := <-results:
+			handle(res)
+		case item := <-requeue:
+			backoffs--
+			if failErr == nil && !canceled && !coveredBy(item.r) {
+				pending = append(pending, item)
+			}
+		case <-ticker.C:
+			reslice()
+		case <-ctx.Done():
+			canceled = true
+			for _, f := range flights {
+				f.cancel()
+			}
+		}
+	}
+
+	if canceled && failErr == nil {
+		failErr = fmt.Errorf("dispatch: sweep canceled: %w", ctx.Err())
+	}
+	if failErr != nil {
+		return finish(nil, accepted, failErr)
+	}
+	m, err := exp.Merge(accepted)
+	if err != nil {
+		// Coverage accounting says the tiling is complete; a merge
+		// failure here means a coordinator bug, not a runner fault.
+		return finish(nil, accepted, fmt.Errorf("dispatch: merge of a complete tiling failed: %w", err))
+	}
+	return finish(m, accepted, nil)
+}
+
+// CompletedRanges summarizes which cell ranges a set of accepted
+// envelopes covers, coalescing adjacent ranges — the partial-results
+// summary printed when a sweep is interrupted.
+func CompletedRanges(files []*exp.ShardFile) []exp.CellRange {
+	rs := make([]exp.CellRange, 0, len(files))
+	for _, f := range files {
+		if f.Range.Len() > 0 {
+			rs = append(rs, f.Range)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	var out []exp.CellRange
+	for _, r := range rs {
+		if n := len(out); n > 0 && out[n-1].Hi >= r.Lo {
+			if r.Hi > out[n-1].Hi {
+				out[n-1].Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

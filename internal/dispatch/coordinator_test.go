@@ -1,0 +1,415 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"suu/internal/exp"
+)
+
+// sequentialBytes is the fault-free ground truth every dispatch run
+// must reproduce byte for byte.
+func sequentialBytes(t *testing.T, cfg exp.Config, plan exp.GridPlan) []byte {
+	t.Helper()
+	want, err := exp.RunMerged(cfg, plan).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func mergedBytes(t *testing.T, m *exp.MergedGrid) []byte {
+	t.Helper()
+	if m == nil {
+		t.Fatal("no merged grid")
+	}
+	got, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestCoordinatorFaultFree: the plain path — several runners, no
+// faults — lands exactly the sequential bytes and records per-runner
+// throughput.
+func TestCoordinatorFaultFree(t *testing.T) {
+	cfg, plan := dispatchTestConfig(), dispatchTestPlan()
+	want := sequentialBytes(t, cfg, plan)
+
+	c := New([]Transport{&InProcess{ID: "inproc-0"}, &InProcess{ID: "inproc-1"}}, Options{Shards: 4})
+	m, files, stats, err := c.Run(context.Background(), cfg, "dispatch-test", plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !bytes.Equal(mergedBytes(t, m), want) {
+		t.Error("dispatched merge differs from sequential bytes")
+	}
+	if len(files) != 4 {
+		t.Errorf("accepted %d envelopes, want 4", len(files))
+	}
+	if stats.ReIssues != 0 || stats.FaultsDetected != 0 || stats.Degradations != 0 {
+		t.Errorf("fault-free run recorded faults: %+v", stats)
+	}
+	jobs, cells := 0, 0
+	for _, r := range stats.Runners {
+		jobs += r.Jobs
+		cells += r.Cells
+		if r.Jobs > 0 && r.CellsPerSec <= 0 {
+			t.Errorf("runner %s: jobs but no throughput record: %+v", r.Name, r)
+		}
+	}
+	if jobs != 4 || cells != plan.NumCells() {
+		t.Errorf("runner stats total %d jobs / %d cells, want 4 / %d", jobs, cells, plan.NumCells())
+	}
+}
+
+// TestChaosParityT13 pins the central invariant on a real paper
+// table: T13 swept through a Flaky transport injecting all six fault
+// classes at a ≥30% total rate merges byte-identical to the
+// fault-free sequential run — corruption is detected and re-issued,
+// never merged. The run is also repeated with the same seed to pin
+// that the injected fault schedule is deterministic.
+func TestChaosParityT13(t *testing.T) {
+	g, ok := exp.GridDriverByID("T13")
+	if !ok {
+		t.Fatal("T13 driver missing")
+	}
+	cfg := exp.Config{Quick: true, Seed: 7, Workers: 1}
+	plan := g.Plan(cfg)
+	want := sequentialBytes(t, cfg, plan)
+
+	const chaosRate = 0.36 // ≥30%, split evenly across all six classes
+	run := func(seed int64) (*Stats, map[Fault]int, []byte) {
+		flaky := &Flaky{
+			Inner: &InProcess{},
+			Cfg: FaultConfig{
+				Seed:     seed,
+				Rates:    UniformRates(chaosRate),
+				MaxDelay: 10 * time.Millisecond,
+			},
+		}
+		c := New([]Transport{flaky, flaky, flaky, flaky}, Options{
+			Shards:      13,
+			MaxAttempts: 12,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  10 * time.Millisecond,
+			Seed:        seed,
+		})
+		m, _, stats, err := c.Run(context.Background(), cfg, "T13", plan)
+		if err != nil {
+			t.Fatalf("chaos sweep failed outright: %v", err)
+		}
+		return stats, flaky.Injected(), mergedBytes(t, m)
+	}
+
+	// Seed 51 exercises every fault class at this rate and shard count
+	// (asserted below, so a schedule change cannot silently weaken the
+	// test to fewer classes).
+	stats, injected, got := run(51)
+	if !bytes.Equal(got, want) {
+		t.Error("chaos merge differs from fault-free sequential bytes")
+	}
+	total := 0
+	for _, f := range AllFaults {
+		if injected[f] == 0 {
+			t.Errorf("fault class %q never fired; pick a seed that exercises all six (injected: %v)", f, injected)
+		}
+		total += injected[f]
+	}
+	// Delay and duplicate-without-fodder do not force a re-issue;
+	// every other fired fault must have been detected.
+	if stats.FaultsDetected == 0 || stats.ReIssues == 0 {
+		t.Errorf("chaos run detected %d faults / %d re-issues, want > 0 (injected %d)", stats.FaultsDetected, stats.ReIssues, total)
+	}
+
+	// Same seed → same schedule: the injected-fault census must match
+	// exactly even though deliveries interleave differently (which
+	// envelope a duplicate replays is timing-dependent, but whether
+	// each fault fires is not).
+	_, injected2, got2 := run(51)
+	if !bytes.Equal(got2, want) {
+		t.Error("repeat chaos merge differs from sequential bytes")
+	}
+	for _, f := range AllFaults {
+		if injected[f] != injected2[f] {
+			t.Errorf("fault schedule not seed-deterministic: %q fired %d then %d times", f, injected[f], injected2[f])
+		}
+	}
+}
+
+// slowOnce delays its first delivery until its context is canceled
+// (or a long timeout) — a deterministic straggler: whatever range
+// lands on this runner first gets stuck.
+type slowOnce struct {
+	InProcess
+	fired atomic.Bool
+}
+
+func (s *slowOnce) Send(ctx context.Context, job Job) (*exp.ShardFile, error) {
+	if s.fired.CompareAndSwap(false, true) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(30 * time.Second):
+		}
+	}
+	return s.InProcess.Send(ctx, job)
+}
+
+// TestStragglerReslice: a range stuck on a dead-slow runner is
+// speculatively re-sliced; the sub-ranges land, the straggler is
+// canceled, and the merged bytes still match the sequential run —
+// speculation changes no bytes.
+func TestStragglerReslice(t *testing.T) {
+	cfg, plan := dispatchTestConfig(), dispatchTestPlan()
+	want := sequentialBytes(t, cfg, plan)
+	slow := &slowOnce{}
+	slow.ID = "slow"
+
+	c := New([]Transport{slow, &InProcess{ID: "fast"}}, Options{
+		Shards:          4,
+		StragglerFactor: 2,
+		CheckInterval:   2 * time.Millisecond,
+		MinStragglerAge: 5 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	m, _, stats, err := c.Run(ctx, cfg, "dispatch-test", plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if stats.ReSlices == 0 {
+		t.Error("straggling range was never re-sliced")
+	}
+	if !bytes.Equal(mergedBytes(t, m), want) {
+		t.Error("speculative re-slice changed merged bytes")
+	}
+}
+
+// brokenTransport fails every delivery the same way.
+type brokenTransport struct {
+	InProcess
+	mode string // "error" or "corrupt"
+}
+
+func (b *brokenTransport) Send(ctx context.Context, job Job) (*exp.ShardFile, error) {
+	switch b.mode {
+	case "corrupt":
+		env, err := b.InProcess.Send(ctx, job)
+		if err != nil {
+			return nil, err
+		}
+		bad := *env
+		bad.Fingerprint = "feedfacefeedface"
+		return &bad, nil
+	default:
+		return nil, transportError(job, fmt.Errorf("runner exploded"))
+	}
+}
+
+// TestExhaustedRetriesNameTheRange: when a range runs out of delivery
+// attempts the sweep fails loudly with a typed error naming the exact
+// [lo:hi) that is missing, and the error unwraps to
+// *exp.MissingRangeError so callers can resume surgically.
+func TestExhaustedRetriesNameTheRange(t *testing.T) {
+	cfg, plan := dispatchTestConfig(), dispatchTestPlan()
+	for _, mode := range []string{"error", "corrupt"} {
+		t.Run(mode, func(t *testing.T) {
+			b := &brokenTransport{mode: mode}
+			b.ID = "broken"
+			c := New([]Transport{b}, Options{
+				Shards:        3,
+				MaxAttempts:   2,
+				BackoffBase:   time.Millisecond,
+				FailThreshold: 1000, // keep the runner un-blacklisted: this test is about attempts
+			})
+			m, _, _, err := c.Run(context.Background(), cfg, "dispatch-test", plan)
+			if m != nil || err == nil {
+				t.Fatalf("sweep over a broken runner: m=%v err=%v, want loud failure", m, err)
+			}
+			var rf *RangeFailedError
+			if !errors.As(err, &rf) {
+				t.Fatalf("err %T is not a RangeFailedError: %v", err, err)
+			}
+			if rf.Attempts != 2 {
+				t.Errorf("gave up after %d attempts, want 2", rf.Attempts)
+			}
+			var miss *exp.MissingRangeError
+			if !errors.As(err, &miss) {
+				t.Fatal("failure does not unwrap to MissingRangeError")
+			}
+			wantName := fmt.Sprintf("[%d:%d)", miss.Range.Lo, miss.Range.Hi)
+			if !strings.Contains(err.Error(), wantName) {
+				t.Errorf("error %q does not name the missing range %s", err, wantName)
+			}
+			found := false
+			for _, r := range exp.ShardRanges(plan.NumCells(), 3) {
+				if r == miss.Range {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("named range %v is not one of the issued shards", miss.Range)
+			}
+		})
+	}
+}
+
+// TestBlacklistAndDegrade: runners that keep failing get blacklisted;
+// with everyone blacklisted the coordinator degrades to in-process
+// execution and still lands the sequential bytes.
+func TestBlacklistAndDegrade(t *testing.T) {
+	cfg, plan := dispatchTestConfig(), dispatchTestPlan()
+	want := sequentialBytes(t, cfg, plan)
+	b0 := &brokenTransport{}
+	b0.ID = "broken-0"
+	b1 := &brokenTransport{}
+	b1.ID = "broken-1"
+
+	var logs []string
+	var mu sync.Mutex
+	c := New([]Transport{b0, b1}, Options{
+		Shards:        4,
+		MaxAttempts:   50,
+		FailThreshold: 2,
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    2 * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	m, _, stats, err := c.Run(context.Background(), cfg, "dispatch-test", plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !bytes.Equal(mergedBytes(t, m), want) {
+		t.Error("degraded run differs from sequential bytes")
+	}
+	if stats.Degradations != 1 {
+		t.Errorf("degradations = %d, want 1", stats.Degradations)
+	}
+	black := 0
+	for _, r := range stats.Runners {
+		if r.Blacklisted {
+			black++
+		}
+	}
+	if black != 2 {
+		t.Errorf("%d runners blacklisted, want the 2 broken ones; stats: %+v", black, stats.Runners)
+	}
+	mu.Lock()
+	joined := strings.Join(logs, "\n")
+	mu.Unlock()
+	if !strings.Contains(joined, "blacklisted") || !strings.Contains(joined, "degrading") {
+		t.Errorf("progress log missing blacklist/degrade notes:\n%s", joined)
+	}
+}
+
+// TestUnhealthyRunnerSkipped: a runner that fails its health probe is
+// blacklisted up front and never sees a job.
+func TestUnhealthyRunnerSkipped(t *testing.T) {
+	cfg, plan := dispatchTestConfig(), dispatchTestPlan()
+	sick := &LocalExec{ID: "sick", Exe: "/nonexistent/worker/binary"}
+	c := New([]Transport{sick, &InProcess{ID: "ok"}}, Options{Shards: 2})
+	m, _, stats, err := c.Run(context.Background(), cfg, "dispatch-test", plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m == nil {
+		t.Fatal("no merge")
+	}
+	for _, r := range stats.Runners {
+		if r.Name == "sick" {
+			if !r.Blacklisted || r.Jobs != 0 {
+				t.Errorf("unhealthy runner got work: %+v", r)
+			}
+		}
+	}
+}
+
+// blockingTransport parks every delivery until its context dies —
+// the shape of a hung remote runner.
+type blockingTransport struct {
+	InProcess
+	started chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingTransport) Send(ctx context.Context, job Job) (*exp.ShardFile, error) {
+	b.once.Do(func() { close(b.started) })
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestCancellationReturnsPartialResults: canceling the sweep's
+// context unblocks Run promptly, returns a typed cancellation error,
+// and hands back whatever envelopes were already accepted so the
+// caller can report completed ranges.
+func TestCancellationReturnsPartialResults(t *testing.T) {
+	cfg, plan := dispatchTestConfig(), dispatchTestPlan()
+	blocker := &blockingTransport{started: make(chan struct{})}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-blocker.started
+		cancel()
+	}()
+	c := New([]Transport{blocker}, Options{Shards: 3})
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, _, _, err = c.Run(ctx, cfg, "dispatch-test", plan)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+// TestCompletedRangesCoalesce: the partial-results summary coalesces
+// adjacent accepted ranges and keeps real gaps visible.
+func TestCompletedRangesCoalesce(t *testing.T) {
+	files := []*exp.ShardFile{
+		{Range: exp.CellRange{Lo: 6, Hi: 9}},
+		{Range: exp.CellRange{Lo: 0, Hi: 3}},
+		{Range: exp.CellRange{Lo: 3, Hi: 6}},
+		{Range: exp.CellRange{Lo: 11, Hi: 12}},
+	}
+	got := CompletedRanges(files)
+	want := []exp.CellRange{{Lo: 0, Hi: 9}, {Lo: 11, Hi: 12}}
+	if len(got) != len(want) {
+		t.Fatalf("CompletedRanges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CompletedRanges = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCoordinatorEmptyPlan: a zero-cell plan short-circuits to the
+// sequential path instead of deadlocking on nothing to dispatch.
+func TestCoordinatorEmptyPlan(t *testing.T) {
+	cfg := dispatchTestConfig()
+	plan := exp.GridPlan{ID: "empty"}
+	c := New([]Transport{&InProcess{}}, Options{})
+	m, _, _, err := c.Run(context.Background(), cfg, "empty", plan)
+	if err != nil || m == nil {
+		t.Fatalf("empty plan: m=%v err=%v", m, err)
+	}
+}

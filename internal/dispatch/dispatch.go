@@ -1,0 +1,182 @@
+// Package dispatch is the fault-tolerant multi-runner layer between a
+// grid sweep and the processes (or machines) that execute it. The
+// sharding layer in internal/exp already makes every sweep a set of
+// fingerprinted, gap-retryable cell ranges; this package owns getting
+// those ranges executed somewhere and the results back *despite* lost
+// runners, slow runners, corrupt envelopes, and partial failures.
+//
+// The split of responsibilities:
+//
+//   - A Transport moves one (plan, config, range) job to a runner and
+//     an envelope back. It is dumb about policy: it reports what
+//     happened and nothing else. Backends: InProcess (run it right
+//     here), LocalExec (fork a worker process — cmd/suu-grid's
+//     self-exec path behind the interface), SharedDir (spool job
+//     tickets into a watched directory, collect envelope files back —
+//     any shared filesystem or object store), and Flaky (a seeded
+//     fault-injection wrapper for chaos testing).
+//
+//   - The Coordinator owns the robustness policy: per-range deadlines
+//     with exponential backoff and deterministic jitter on re-issue,
+//     straggler detection with speculative re-slicing, per-runner
+//     health scoring with blacklisting, graceful degradation to fewer
+//     runners (down to in-process execution), and per-runner
+//     throughput records.
+//
+// The central invariant — pinned by the chaos parity tests — is that
+// a sweep run under heavy injected faults merges byte-identical to
+// the fault-free sequential run, or fails loudly with the exact
+// missing [lo:hi) range. Corruption is detected, not trusted: every
+// delivered envelope is validated against the sweep fingerprint, the
+// requested range, and its sealed payload checksum, and every
+// detected fault converts into a re-issuable range error.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"suu/internal/exp"
+)
+
+// Job is one unit of dispatchable work: a contiguous cell range of a
+// named grid plan under a fixed experiment config. Everything a
+// remote runner needs to reproduce the cells — and everything the
+// coordinator needs to distrust what comes back — rides along.
+type Job struct {
+	// Grid is the grid driver id ("T13"); transports that re-derive
+	// the plan on the far side (SharedDir tickets) ship this.
+	Grid string
+	// Cfg is the experiment config the cells run under. Workers is
+	// forced to 1 by executing transports: process/runner-level
+	// parallelism replaces the in-process pool.
+	Cfg exp.Config
+	// Plan is the materialized plan (local transports use it
+	// directly; it is never serialized — remote ends rebuild it from
+	// Grid+Cfg and must match Fingerprint).
+	Plan exp.GridPlan
+	// Range is the half-open cell range to execute.
+	Range exp.CellRange
+	// Fingerprint is the expected (cfg, plan) fingerprint. Both ends
+	// check it: a runner refuses a ticket it cannot reproduce, and
+	// the coordinator refuses an envelope cut from anything else.
+	Fingerprint string
+}
+
+// A Transport executes one job somewhere and returns its envelope.
+// Implementations must be safe for concurrent Send calls. Send
+// honors ctx: on cancellation or deadline it abandons (and, where it
+// can, kills) the work and returns ctx's error. A returned envelope
+// is NOT presumed valid — the coordinator validates every delivery —
+// so transports should return whatever arrived rather than judging
+// it, and reserve errors for deliveries that failed outright.
+type Transport interface {
+	// Name identifies the runner for health scoring and stats
+	// ("local-3", "dir:/sweep", "inproc-0").
+	Name() string
+	// Send executes the job and returns the delivered envelope.
+	Send(ctx context.Context, job Job) (*exp.ShardFile, error)
+	// Healthy probes whether the runner looks usable right now —
+	// cheap, advisory, no work executed.
+	Healthy(ctx context.Context) error
+	// Close releases transport resources (spool dirs, watchers).
+	Close() error
+}
+
+// NewJob assembles a Job for a grid driver, deriving the plan and
+// fingerprint the way every transport and validator expects: the
+// worker config (Workers=1) is what the fingerprint deliberately
+// excludes, so jobs built at any pool size interoperate.
+func NewJob(cfg exp.Config, gridID string, plan exp.GridPlan, r exp.CellRange) Job {
+	wcfg := cfg
+	wcfg.Workers = 1
+	return Job{
+		Grid:        gridID,
+		Cfg:         wcfg,
+		Plan:        plan,
+		Range:       r,
+		Fingerprint: exp.Fingerprint(cfg, plan),
+	}
+}
+
+// InProcess executes jobs directly in the coordinator's process — the
+// degradation floor every sweep can fall back to, and the fastest
+// backend for chaos tests (no fork per job). The zero value is ready
+// to use.
+type InProcess struct {
+	// ID distinguishes multiple in-process runners ("" reads as
+	// "inproc").
+	ID string
+}
+
+// Name implements Transport.
+func (p *InProcess) Name() string {
+	if p.ID == "" {
+		return "inproc"
+	}
+	return p.ID
+}
+
+// Send implements Transport: run the range on a single-goroutine pool
+// right here. The work itself is not interruptible mid-range; Send
+// checks ctx before starting and reports cancellation that arrives
+// while running only after the range finishes (the envelope is then
+// still delivered — a canceled coordinator discards it).
+func (p *InProcess) Send(ctx context.Context, job Job) (*exp.ShardFile, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := job.Cfg
+	cfg.Workers = 1
+	f := exp.RunShard(cfg, exp.ShardSpec{Plan: job.Plan, Range: job.Range})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Healthy implements Transport: the coordinator's own process is as
+// healthy as it gets.
+func (p *InProcess) Healthy(context.Context) error { return nil }
+
+// Close implements Transport.
+func (p *InProcess) Close() error { return nil }
+
+// transportError wraps a delivery failure as a typed, re-issuable
+// envelope fault for the requested range.
+func transportError(job Job, err error) error {
+	return &exp.EnvelopeFaultError{
+		Range: job.Range,
+		Class: exp.FaultTransport,
+		Err:   err,
+	}
+}
+
+// decodeDelivery decodes envelope bytes that arrived for a job,
+// attributing any failure to the job's requested range: truncated or
+// garbled bytes cannot name the range they were for, and the range
+// the coordinator must re-issue is the one it asked for.
+func decodeDelivery(job Job, data []byte) (*exp.ShardFile, error) {
+	f, err := exp.DecodeShardFile(data)
+	if err == nil {
+		return f, nil
+	}
+	var fe *exp.EnvelopeFaultError
+	if errors.As(err, &fe) {
+		return nil, &exp.EnvelopeFaultError{Range: job.Range, Class: fe.Class, Err: fe.Err}
+	}
+	return nil, transportError(job, err)
+}
+
+// validateDelivery runs the full distrust pipeline on a delivered
+// envelope: range, schema, fingerprint, row indices, payload
+// checksum. Any failure is an *exp.EnvelopeFaultError carrying the
+// requested range, which unwraps to the re-issuable
+// *exp.MissingRangeError.
+func validateDelivery(job Job, f *exp.ShardFile) error {
+	if f == nil {
+		return transportError(job, fmt.Errorf("transport delivered no envelope"))
+	}
+	return exp.ValidateShardFile(f, job.Range, job.Fingerprint, job.Plan.NumCells())
+}

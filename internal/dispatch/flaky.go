@@ -1,0 +1,273 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"suu/internal/exp"
+	"suu/internal/sim"
+)
+
+// Fault names one injected fault class.
+type Fault string
+
+// The six fault classes Flaky injects, each exercising a different
+// detection path in the coordinator:
+const (
+	// FaultDrop: the envelope never arrives (Send errors) — the
+	// transport-failure path.
+	FaultDrop Fault = "drop"
+	// FaultDelay: the envelope arrives late — the deadline and
+	// straggler paths.
+	FaultDelay Fault = "delay"
+	// FaultTruncate: the envelope bytes are cut short — the parse
+	// path.
+	FaultTruncate Fault = "truncate"
+	// FaultBitFlip: a payload byte is corrupted in transit — the
+	// checksum path.
+	FaultBitFlip Fault = "bitflip"
+	// FaultDuplicate: a stale, previously delivered envelope arrives
+	// instead of the requested one — the misdelivery/first-valid-wins
+	// path.
+	FaultDuplicate Fault = "duplicate"
+	// FaultMisindex: the envelope's rows are index-shifted — the
+	// row-validation path.
+	FaultMisindex Fault = "misindex"
+)
+
+// AllFaults lists every class, in injection-partition order.
+var AllFaults = []Fault{FaultDrop, FaultDelay, FaultTruncate, FaultBitFlip, FaultDuplicate, FaultMisindex}
+
+// FaultConfig sizes the injection. Rates are independent
+// probabilities that partition [0,1): at most one fault fires per
+// delivery, chosen by a single uniform draw against the cumulative
+// rates (so Rate(drop)+...+Rate(misindex) must stay ≤ 1).
+type FaultConfig struct {
+	// Seed drives the deterministic fault schedule.
+	Seed int64
+	// Rates maps fault class → probability. Missing classes are 0.
+	Rates map[Fault]float64
+	// MaxDelay bounds the FaultDelay sleep (default 200ms); the
+	// injected delay is uniform in (MaxDelay/2, MaxDelay].
+	MaxDelay time.Duration
+}
+
+// UniformRates spreads a total fault rate evenly across all six
+// classes — the "-chaos 0.36" CLI shape.
+func UniformRates(total float64) map[Fault]float64 {
+	m := make(map[Fault]float64, len(AllFaults))
+	for _, f := range AllFaults {
+		m[f] = total / float64(len(AllFaults))
+	}
+	return m
+}
+
+// Flaky wraps a Transport and injects faults on the way back. The
+// schedule is seeded-deterministic per (range, attempt): whether and
+// which fault fires for the k-th delivery attempt of range [lo:hi)
+// depends only on (Seed, lo, hi, k), never on goroutine scheduling —
+// so a chaos run is reproducible by seed even though deliveries
+// interleave. (The payload of a duplicate fault — which stale
+// envelope gets replayed — does depend on delivery order; the fault
+// decisions do not.)
+//
+// Injection happens downstream of the real execution, which is what
+// makes the parity invariant testable: the inner transport computes
+// honest envelopes, Flaky mangles them in flight, and the
+// coordinator must still converge to byte-identical output purely by
+// detecting and re-issuing.
+type Flaky struct {
+	Inner Transport
+	Cfg   FaultConfig
+
+	mu        sync.Mutex
+	attempts  map[exp.CellRange]int64 // per-range delivery attempt counter
+	delivered []*exp.ShardFile        // clean envelopes seen, fodder for duplicates
+	injected  map[Fault]int           // how many of each class actually fired
+}
+
+// Name implements Transport.
+func (f *Flaky) Name() string { return f.Inner.Name() + "+flaky" }
+
+// Healthy implements Transport: fault injection does not change
+// whether the runner underneath looks usable.
+func (f *Flaky) Healthy(ctx context.Context) error { return f.Inner.Healthy(ctx) }
+
+// Close implements Transport.
+func (f *Flaky) Close() error { return f.Inner.Close() }
+
+// Injected reports how many faults of each class actually fired so
+// far — for chaos-test assertions ("every class exercised") and the
+// stats line.
+func (f *Flaky) Injected() map[Fault]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[Fault]int, len(f.injected))
+	for k, v := range f.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// draw returns the fault (or "") scheduled for this delivery attempt
+// and a per-attempt stream for fault-internal randomness, and bumps
+// the attempt counter.
+func (f *Flaky) draw(r exp.CellRange) (Fault, *sim.Stream) {
+	f.mu.Lock()
+	if f.attempts == nil {
+		f.attempts = make(map[exp.CellRange]int64)
+		f.injected = make(map[Fault]int)
+	}
+	attempt := f.attempts[r]
+	f.attempts[r] = attempt + 1
+	f.mu.Unlock()
+
+	s := sim.NewStream(sim.SeedFor(f.Cfg.Seed, "flaky", int64(r.Lo), int64(r.Hi), attempt))
+	u := s.Float64()
+	cum := 0.0
+	for _, class := range AllFaults {
+		cum += f.Cfg.Rates[class]
+		if u < cum {
+			return class, s
+		}
+	}
+	return "", s
+}
+
+func (f *Flaky) count(class Fault) {
+	f.mu.Lock()
+	f.injected[class]++
+	f.mu.Unlock()
+}
+
+// remember stashes a clean envelope as future duplicate fodder.
+func (f *Flaky) remember(env *exp.ShardFile) {
+	f.mu.Lock()
+	f.delivered = append(f.delivered, env)
+	f.mu.Unlock()
+}
+
+// stale picks a remembered envelope for a range other than r — a
+// replay of the same range would be indistinguishable from a correct
+// delivery, so only cross-range replays count as the fault. Returns
+// nil if nothing eligible has been delivered yet.
+func (f *Flaky) stale(s *sim.Stream, r exp.CellRange) *exp.ShardFile {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var pool []*exp.ShardFile
+	for _, env := range f.delivered {
+		if env.Range != r {
+			pool = append(pool, env)
+		}
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	return pool[int(s.Uint64()%uint64(len(pool)))]
+}
+
+// Send implements Transport: run the real job, then apply the
+// scheduled fault to the delivery.
+func (f *Flaky) Send(ctx context.Context, job Job) (*exp.ShardFile, error) {
+	class, s := f.draw(job.Range)
+
+	// Delay happens before the real work so the wall-clock stretch is
+	// visible to deadlines and straggler detection.
+	if class == FaultDelay {
+		f.count(FaultDelay)
+		bound := f.Cfg.MaxDelay
+		if bound <= 0 {
+			bound = 200 * time.Millisecond
+		}
+		d := bound/2 + time.Duration(s.Float64()*float64(bound/2))
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(d):
+		}
+	}
+
+	env, err := f.Inner.Send(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	f.remember(env)
+
+	switch class {
+	case FaultDrop:
+		// The worker ran; the envelope is lost in transit.
+		f.count(FaultDrop)
+		return nil, transportError(job, fmt.Errorf("flaky: injected drop of %s", job.Range))
+	case FaultTruncate:
+		f.count(FaultTruncate)
+		return f.corruptBytes(job, env, s, true)
+	case FaultBitFlip:
+		f.count(FaultBitFlip)
+		return f.corruptBytes(job, env, s, false)
+	case FaultDuplicate:
+		f.count(FaultDuplicate)
+		if old := f.stale(s, job.Range); old != nil {
+			return old, nil
+		}
+		// Nothing eligible to replay yet: deliver a ghost — an empty
+		// envelope for the empty range. Still a misdelivery, so a
+		// scheduled duplicate always fires regardless of timing; that
+		// keeps the per-range attempt chains (and with them the whole
+		// fault census) deterministic for a given seed.
+		return exp.RunShard(job.Cfg, exp.ShardSpec{Plan: job.Plan, Range: exp.CellRange{}}), nil
+	case FaultMisindex:
+		f.count(FaultMisindex)
+		bad := *env
+		bad.Cells = append([]exp.ShardCell(nil), env.Cells...)
+		for i := range bad.Cells {
+			bad.Cells[i].Index++
+		}
+		// A misindexing bug would re-seal too — the checksum is not
+		// what catches this class, row validation is.
+		bad.SealPayload()
+		return &bad, nil
+	}
+	return env, nil
+}
+
+// corruptBytes mangles the envelope at the wire level — truncation
+// or a bit flip inside the payload region — and returns whatever a
+// receiver would see after decoding, mirroring exactly what a
+// transport reading a damaged file does.
+func (f *Flaky) corruptBytes(job Job, env *exp.ShardFile, s *sim.Stream, truncate bool) (*exp.ShardFile, error) {
+	data, err := exp.EncodeShardFile(env)
+	if err != nil {
+		return nil, transportError(job, err)
+	}
+	if truncate {
+		// Cut somewhere in the second half — past the header, inside
+		// the rows — so the damage is structural.
+		cut := len(data)/2 + int(s.Uint64()%uint64(len(data)/4+1))
+		data = data[:cut]
+	} else {
+		// Flip the low bit of a mean value's leading character: that
+		// byte is always payload the checksum covers, so the flip is
+		// always detected — either the number changes (checksum fault)
+		// or the JSON breaks (parse fault). A flip in a timing field
+		// would be a harmless no-op by design (provenance is not
+		// payload), which would make "bitflip was detected" assertions
+		// vacuous, so the injector aims where it must be caught.
+		marker := []byte(`"mean": `)
+		var sites []int
+		for i := 0; ; {
+			j := bytes.Index(data[i:], marker)
+			if j < 0 {
+				break
+			}
+			sites = append(sites, i+j+len(marker))
+			i += j + len(marker)
+		}
+		if len(sites) > 0 {
+			data[sites[int(s.Uint64()%uint64(len(sites)))]] ^= 1
+		}
+	}
+	return decodeDelivery(job, data)
+}

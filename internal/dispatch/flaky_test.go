@@ -1,0 +1,198 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"suu/internal/exp"
+)
+
+// dispatchTestPlan is a small cheap plan: two specs, 12 cells,
+// tiny instances — the dispatch-layer twin of exp's shard test plan.
+func dispatchTestPlan() exp.GridPlan {
+	return exp.GridPlan{ID: "dispatch-test", Specs: []exp.GridSpec{
+		{
+			Points:  []exp.GridPoint{{Scenario: "independent", Jobs: 6, Machines: 2}},
+			Solvers: []string{"lp-oblivious", "greedy-maxp"},
+			Trials:  3,
+		},
+		{
+			Points:  []exp.GridPoint{{Scenario: "chains", Jobs: 6, Machines: 2, Arg: 2}},
+			Solvers: []string{"chains", "round-robin"},
+			Trials:  3,
+		},
+	}}
+}
+
+func dispatchTestConfig() exp.Config { return exp.Config{Quick: true, Seed: 5, Workers: 1} }
+
+// TestFlakyScheduleDeterministic: whether and which fault fires for
+// the k-th delivery attempt of a range depends only on (seed, range,
+// attempt) — two independently constructed injectors agree draw for
+// draw, and the visit order of ranges does not matter.
+func TestFlakyScheduleDeterministic(t *testing.T) {
+	mk := func() *Flaky {
+		return &Flaky{Inner: &InProcess{}, Cfg: FaultConfig{Seed: 42, Rates: UniformRates(0.5)}}
+	}
+	ranges := []exp.CellRange{{Lo: 0, Hi: 3}, {Lo: 3, Hi: 6}, {Lo: 6, Hi: 12}}
+
+	a, b := mk(), mk()
+	var got, want []Fault
+	// a visits ranges round-robin, b exhausts each range's attempts in
+	// turn: the schedules must still line up per (range, attempt).
+	seqA := make(map[exp.CellRange][]Fault)
+	for attempt := 0; attempt < 8; attempt++ {
+		for _, r := range ranges {
+			class, _ := a.draw(r)
+			seqA[r] = append(seqA[r], class)
+		}
+	}
+	for _, r := range ranges {
+		for attempt := 0; attempt < 8; attempt++ {
+			class, _ := b.draw(r)
+			got = append(got, class)
+		}
+		want = append(want, seqA[r]...)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d: visit order changed the schedule: %q vs %q", i, got[i], want[i])
+		}
+	}
+	// Sanity: with a 50% total rate over 24 draws, some faults fired.
+	fired := 0
+	for _, c := range want {
+		if c != "" {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no faults fired in 24 draws at 50% rate — schedule is broken")
+	}
+}
+
+// TestFlakyFaultClassesDetected: each of the six classes, injected
+// with probability 1, is either surfaced as an error by Send or
+// rejected by delivery validation — and in every case the failure
+// unwraps to the re-issuable *exp.MissingRangeError for the job's
+// range. No fault class can slip a wrong envelope past the
+// coordinator.
+func TestFlakyFaultClassesDetected(t *testing.T) {
+	cfg, plan := dispatchTestConfig(), dispatchTestPlan()
+	r := exp.CellRange{Lo: 2, Hi: 7}
+	job := NewJob(cfg, "dispatch-test", plan, r)
+
+	for _, tc := range []struct {
+		fault   Fault
+		classes []string // acceptable detected EnvelopeFaultError classes
+	}{
+		{FaultDrop, []string{exp.FaultTransport}},
+		{FaultTruncate, []string{exp.FaultParse}},
+		{FaultBitFlip, []string{exp.FaultChecksum, exp.FaultParse}},
+		{FaultDuplicate, []string{exp.FaultMisdelivery}},
+		{FaultMisindex, []string{exp.FaultMisindex}},
+	} {
+		t.Run(string(tc.fault), func(t *testing.T) {
+			f := &Flaky{Inner: &InProcess{}, Cfg: FaultConfig{Seed: 9, Rates: map[Fault]float64{tc.fault: 1}}}
+			if tc.fault == FaultDuplicate {
+				// Prime the replay pool with an envelope for another range.
+				other := NewJob(cfg, "dispatch-test", plan, exp.CellRange{Lo: 0, Hi: 2})
+				f.remember(exp.RunShard(other.Cfg, exp.ShardSpec{Plan: plan, Range: other.Range}))
+			}
+			env, err := f.Send(context.Background(), job)
+			if err == nil {
+				err = validateDelivery(job, env)
+			}
+			if err == nil {
+				t.Fatalf("fault %q delivered a validating envelope", tc.fault)
+			}
+			var fe *exp.EnvelopeFaultError
+			if !errors.As(err, &fe) {
+				t.Fatalf("fault %q: error %v is not an EnvelopeFaultError", tc.fault, err)
+			}
+			okClass := false
+			for _, c := range tc.classes {
+				if fe.Class == c {
+					okClass = true
+				}
+			}
+			if !okClass {
+				t.Errorf("fault %q detected as class %q, want one of %v", tc.fault, fe.Class, tc.classes)
+			}
+			var miss *exp.MissingRangeError
+			if !errors.As(err, &miss) {
+				t.Fatalf("fault %q: error does not unwrap to MissingRangeError", tc.fault)
+			}
+			if miss.Range != r {
+				t.Errorf("fault %q: re-issuable range %v, want %v", tc.fault, miss.Range, r)
+			}
+			if got := f.Injected()[tc.fault]; got != 1 {
+				t.Errorf("fault %q: injected count %d, want 1", tc.fault, got)
+			}
+		})
+	}
+}
+
+// TestFlakyDelayStretchesDelivery: the delay class does not corrupt —
+// it stretches wall-clock, which is what the deadline and straggler
+// machinery must see.
+func TestFlakyDelayStretchesDelivery(t *testing.T) {
+	cfg, plan := dispatchTestConfig(), dispatchTestPlan()
+	job := NewJob(cfg, "dispatch-test", plan, exp.CellRange{Lo: 0, Hi: 4})
+	f := &Flaky{Inner: &InProcess{}, Cfg: FaultConfig{
+		Seed:     3,
+		Rates:    map[Fault]float64{FaultDelay: 1},
+		MaxDelay: 40 * time.Millisecond,
+	}}
+	start := time.Now()
+	env, err := f.Send(context.Background(), job)
+	if err != nil {
+		t.Fatalf("delayed delivery errored: %v", err)
+	}
+	if err := validateDelivery(job, env); err != nil {
+		t.Fatalf("delayed delivery invalid: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("delivery took %v, want >= 20ms of injected delay", d)
+	}
+	// And a delayed delivery respects cancellation instead of sleeping.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	f2 := &Flaky{Inner: &InProcess{}, Cfg: FaultConfig{
+		Seed:     3,
+		Rates:    map[Fault]float64{FaultDelay: 1},
+		MaxDelay: 10 * time.Second,
+	}}
+	start = time.Now()
+	if _, err := f2.Send(ctx, job); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("canceled delayed send: err = %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("canceled delayed send took %v — the injected delay ignored ctx", d)
+	}
+}
+
+// TestFlakyDuplicateWithoutFodder: a duplicate scheduled before
+// anything eligible has been delivered still fires — as a ghost
+// replay of an empty envelope — so the fault census for a seed does
+// not depend on delivery timing.
+func TestFlakyDuplicateWithoutFodder(t *testing.T) {
+	cfg, plan := dispatchTestConfig(), dispatchTestPlan()
+	r := exp.CellRange{Lo: 0, Hi: 4}
+	job := NewJob(cfg, "dispatch-test", plan, r)
+	f := &Flaky{Inner: &InProcess{}, Cfg: FaultConfig{Seed: 1, Rates: map[Fault]float64{FaultDuplicate: 1}}}
+	env, err := f.Send(context.Background(), job)
+	if err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	err = validateDelivery(job, env)
+	var fe *exp.EnvelopeFaultError
+	if !errors.As(err, &fe) || fe.Class != exp.FaultMisdelivery {
+		t.Fatalf("ghost replay: err = %v, want misdelivery fault", err)
+	}
+	if got := f.Injected()[FaultDuplicate]; got != 1 {
+		t.Errorf("duplicate fired count %d, want 1", got)
+	}
+}

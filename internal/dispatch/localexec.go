@@ -1,0 +1,103 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"suu/internal/exp"
+)
+
+// LocalExec executes jobs by forking a worker process per job — the
+// classic suu-grid self-exec path refactored behind the Transport
+// interface. The worker contract is owned by the caller through Args:
+// given a job and an output path, it returns the argv (after the
+// executable) of a process that runs the range and writes its
+// envelope to the path. Workers are started in their own process
+// group so cancellation kills the whole worker tree, not just the
+// direct child — an orphaned grandchild holding the range hostage is
+// exactly the failure mode this layer exists to remove.
+type LocalExec struct {
+	// ID names this runner for health scoring ("local-0").
+	ID string
+	// Exe is the worker executable (usually os.Executable() of the
+	// coordinator binary re-invoked in worker mode).
+	Exe string
+	// Args builds the worker argv for a job and envelope output path.
+	Args func(job Job, outPath string) []string
+	// Dir is the envelope spool directory.
+	Dir string
+
+	nonce atomic.Int64
+}
+
+// Name implements Transport.
+func (l *LocalExec) Name() string {
+	if l.ID == "" {
+		return "local"
+	}
+	return l.ID
+}
+
+// Healthy implements Transport: the worker binary must exist and the
+// spool directory must be writable-ish (exist as a directory).
+func (l *LocalExec) Healthy(context.Context) error {
+	if _, err := os.Stat(l.Exe); err != nil {
+		return fmt.Errorf("dispatch: worker executable: %w", err)
+	}
+	if fi, err := os.Stat(l.Dir); err != nil || !fi.IsDir() {
+		return fmt.Errorf("dispatch: spool dir %s unusable (%v)", l.Dir, err)
+	}
+	return nil
+}
+
+// Close implements Transport. The spool directory is owned by the
+// caller (kept or deleted with the sweep's work dir), so nothing to
+// release.
+func (l *LocalExec) Close() error { return nil }
+
+// Send implements Transport: fork the worker, wait for it, read the
+// envelope it wrote. On ctx cancellation the worker's whole process
+// group is killed and ctx's error is returned — no orphaned workers,
+// no half-written envelope trusted (a killed worker's partial file
+// fails decode or checksum downstream anyway; here it is simply not
+// read).
+func (l *LocalExec) Send(ctx context.Context, job Job) (*exp.ShardFile, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	outPath := filepath.Join(l.Dir, fmt.Sprintf("%s-%d-%d-n%d.json",
+		strings.ToLower(job.Plan.ID), job.Range.Lo, job.Range.Hi, l.nonce.Add(1)))
+	cmd := exec.Command(l.Exe, l.Args(job, outPath)...)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	setProcessGroup(cmd)
+
+	if err := cmd.Start(); err != nil {
+		return nil, transportError(job, fmt.Errorf("start worker: %w", err))
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-ctx.Done():
+		killProcessGroup(cmd)
+		<-done // reap; the group kill makes this prompt
+		return nil, ctx.Err()
+	case err := <-done:
+		if err != nil {
+			return nil, transportError(job, fmt.Errorf("worker %s: %v\n%s", job.Range, err, out.String()))
+		}
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		return nil, transportError(job, fmt.Errorf("worker %s exited 0 but envelope is unreadable: %w", job.Range, err))
+	}
+	// Decode verifies the payload checksum; a truncated or bit-flipped
+	// file surfaces here as a typed envelope fault, not as trusted rows.
+	return decodeDelivery(job, data)
+}

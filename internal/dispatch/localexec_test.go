@@ -1,0 +1,197 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"suu/internal/exp"
+)
+
+// TestMain doubles as the LocalExec worker: when SUU_DISPATCH_WORKER
+// is set the test binary acts as a grid worker instead of running
+// tests — the same self-exec trick cmd/suu-grid uses, so LocalExec is
+// exercised against a real forked process, real files, and real
+// process groups.
+//
+// Worker argv: <lo> <hi> <outPath> [mode]
+// Modes: "" (honest), "truncate-once" (write a cut envelope the first
+// time, honest after — state via a marker file next to outPath),
+// "hang" (never write, sleep forever — for the kill test).
+func TestMain(m *testing.M) {
+	if os.Getenv("SUU_DISPATCH_WORKER") != "" {
+		workerMain()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func workerMain() {
+	args := os.Args[1:]
+	if len(args) < 3 {
+		fmt.Fprintln(os.Stderr, "worker: want <lo> <hi> <out> [mode]")
+		os.Exit(2)
+	}
+	lo, _ := strconv.Atoi(args[0])
+	hi, _ := strconv.Atoi(args[1])
+	outPath := args[2]
+	mode := ""
+	if len(args) > 3 {
+		mode = args[3]
+	}
+	if mode == "hang" {
+		time.Sleep(5 * time.Minute)
+		os.Exit(1)
+	}
+	cfg, plan := dispatchTestConfig(), dispatchTestPlan()
+	f := exp.RunShard(cfg, exp.ShardSpec{Plan: plan, Range: exp.CellRange{Lo: lo, Hi: hi}})
+	data, err := exp.EncodeShardFile(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(1)
+	}
+	if mode == "truncate-once" {
+		// Keyed by range, not output path: re-issues spool to fresh
+		// nonce paths but must see an honest second attempt.
+		marker := filepath.Join(filepath.Dir(outPath), fmt.Sprintf("fired-%d-%d", lo, hi))
+		if _, err := os.Stat(marker); os.IsNotExist(err) {
+			os.WriteFile(marker, []byte("x"), 0o644)
+			data = data[:len(data)/2]
+		}
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// selfExec builds a LocalExec that re-invokes this test binary as a
+// worker in the given mode.
+func selfExec(t *testing.T, id, dir, mode string) *LocalExec {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &LocalExec{
+		ID:  id,
+		Exe: exe,
+		Dir: dir,
+		Args: func(job Job, outPath string) []string {
+			argv := []string{strconv.Itoa(job.Range.Lo), strconv.Itoa(job.Range.Hi), outPath}
+			if mode != "" {
+				argv = append(argv, mode)
+			}
+			return argv
+		},
+	}
+}
+
+func localExecEnv(t *testing.T) {
+	t.Helper()
+	t.Setenv("SUU_DISPATCH_WORKER", "1")
+}
+
+// TestLocalExecRoundTrip: a real forked worker produces an envelope
+// that validates, and a coordinator over two such runners reproduces
+// the sequential bytes.
+func TestLocalExecRoundTrip(t *testing.T) {
+	localExecEnv(t)
+	cfg, plan := dispatchTestConfig(), dispatchTestPlan()
+	want := sequentialBytes(t, cfg, plan)
+	dir := t.TempDir()
+
+	c := New([]Transport{selfExec(t, "local-0", dir, ""), selfExec(t, "local-1", dir, "")}, Options{Shards: 4})
+	m, _, _, err := c.Run(context.Background(), cfg, "dispatch-test", plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !bytes.Equal(mergedBytes(t, m), want) {
+		t.Error("forked-worker merge differs from sequential bytes")
+	}
+}
+
+// TestLocalExecTruncatedEnvelopeRetries is the truncated-envelope
+// regression: a worker that writes a cut-short envelope file must
+// surface as a typed, re-issuable fault for the shard's range — not a
+// fatal merge error — and the retry must land the correct bytes.
+func TestLocalExecTruncatedEnvelopeRetries(t *testing.T) {
+	localExecEnv(t)
+	cfg, plan := dispatchTestConfig(), dispatchTestPlan()
+	want := sequentialBytes(t, cfg, plan)
+	dir := t.TempDir()
+
+	// First, pin the typed error at the transport level.
+	le := selfExec(t, "local", dir, "truncate-once")
+	r := exp.CellRange{Lo: 0, Hi: plan.NumCells()}
+	job := NewJob(cfg, "dispatch-test", plan, r)
+	_, err := le.Send(context.Background(), job)
+	if err == nil {
+		t.Fatal("truncated envelope file decoded cleanly")
+	}
+	var fe *exp.EnvelopeFaultError
+	if !errors.As(err, &fe) || fe.Class != exp.FaultParse {
+		t.Fatalf("truncated envelope: err = %v, want parse-class envelope fault", err)
+	}
+	var miss *exp.MissingRangeError
+	if !errors.As(err, &miss) || miss.Range != r {
+		t.Fatalf("truncated envelope does not convert to MissingRangeError for %v (err %v)", r, err)
+	}
+
+	// Then end to end: the coordinator retries the range and the merge
+	// still matches the sequential run byte for byte.
+	dir2 := t.TempDir()
+	c := New([]Transport{selfExec(t, "local", dir2, "truncate-once")}, Options{Shards: 1, MaxAttempts: 3, BackoffBase: time.Millisecond})
+	m, _, stats, err := c.Run(context.Background(), cfg, "dispatch-test", plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if stats.ReIssues == 0 || stats.FaultsDetected == 0 {
+		t.Errorf("truncated delivery was not re-issued: %+v", stats)
+	}
+	if !bytes.Equal(mergedBytes(t, m), want) {
+		t.Error("post-retry merge differs from sequential bytes")
+	}
+}
+
+// TestLocalExecCancellationKillsWorker: canceling a Send kills the
+// worker process group promptly instead of waiting out the job.
+func TestLocalExecCancellationKillsWorker(t *testing.T) {
+	localExecEnv(t)
+	cfg, plan := dispatchTestConfig(), dispatchTestPlan()
+	dir := t.TempDir()
+	le := selfExec(t, "local", dir, "hang")
+	job := NewJob(cfg, "dispatch-test", plan, exp.CellRange{Lo: 0, Hi: 4})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := le.Send(ctx, job)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("killed send returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Send did not return after cancel — hung worker was not killed")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("kill took %v", d)
+	}
+	// No envelope should have been spooled by the hung worker.
+	if names, _ := filepath.Glob(filepath.Join(dir, "*.json")); len(names) != 0 {
+		t.Errorf("hung worker left envelopes: %v", names)
+	}
+}

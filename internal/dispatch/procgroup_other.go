@@ -1,0 +1,15 @@
+//go:build !unix
+
+package dispatch
+
+import "os/exec"
+
+// Non-unix platforms get plain child management: no process groups,
+// cancellation kills only the direct worker process.
+func setProcessGroup(*exec.Cmd) {}
+
+func killProcessGroup(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		_ = cmd.Process.Kill()
+	}
+}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package dispatch
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setProcessGroup puts the worker in its own process group so a
+// cancellation can kill the worker and everything it forked.
+func setProcessGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// killProcessGroup kills the worker's whole process group (negative
+// pid). Falls back to killing the direct child if the group signal
+// fails (the process may already be gone).
+func killProcessGroup(cmd *exec.Cmd) {
+	if cmd.Process == nil {
+		return
+	}
+	if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err != nil {
+		_ = cmd.Process.Kill()
+	}
+}

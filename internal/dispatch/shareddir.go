@@ -1,0 +1,261 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"suu/internal/exp"
+)
+
+// SharedDir is the transport for any shared filesystem (NFS, a
+// mounted object store, a plain local directory): the coordinator
+// spools one job-ticket file per range into <root>/jobs, any number
+// of runners — other processes, other machines — claim tickets by
+// atomic rename and write envelope files into <root>/results, and
+// Send collects its envelope back by polling. All writes are
+// tmp+rename so a reader can never observe a half-written file as a
+// complete one (a torn read would only look like corruption anyway,
+// which the payload checksum catches).
+//
+// The directory layout:
+//
+//	<root>/jobs/<id>.json          ticket, waiting
+//	<root>/jobs/<id>.json.claimed  ticket, claimed by a runner
+//	<root>/results/<id>.json       envelope
+//	<root>/results/<id>.err        runner-side failure note
+type SharedDir struct {
+	// ID names this runner for health scoring ("" reads as
+	// "dir:<root>").
+	ID string
+	// Root is the shared directory.
+	Root string
+	// Poll is the collection poll interval (default 25ms — tuned for
+	// local disks; raise it for high-latency mounts).
+	Poll time.Duration
+
+	nonce atomic.Int64
+}
+
+// JobTicket is the serialized form of a job a SharedDir runner picks
+// up. The plan itself is never shipped: the runner rebuilds it from
+// (Grid, Cfg) and refuses the ticket if the fingerprints disagree —
+// a version-skewed runner must fail loudly, not compute different
+// cells.
+type JobTicket struct {
+	ID          string        `json:"id"`
+	Grid        string        `json:"grid"`
+	Cfg         exp.Config    `json:"cfg"`
+	Range       exp.CellRange `json:"range"`
+	Fingerprint string        `json:"fingerprint"`
+}
+
+func (s *SharedDir) jobsDir() string    { return filepath.Join(s.Root, "jobs") }
+func (s *SharedDir) resultsDir() string { return filepath.Join(s.Root, "results") }
+
+func (s *SharedDir) poll() time.Duration {
+	if s.Poll <= 0 {
+		return 25 * time.Millisecond
+	}
+	return s.Poll
+}
+
+// Name implements Transport.
+func (s *SharedDir) Name() string {
+	if s.ID == "" {
+		return "dir:" + s.Root
+	}
+	return s.ID
+}
+
+// Healthy implements Transport: the spool directories must exist (or
+// be creatable).
+func (s *SharedDir) Healthy(context.Context) error {
+	if err := os.MkdirAll(s.jobsDir(), 0o755); err != nil {
+		return fmt.Errorf("dispatch: shared dir: %w", err)
+	}
+	return os.MkdirAll(s.resultsDir(), 0o755)
+}
+
+// Close implements Transport. The spool is owned by the caller (it
+// may still hold results other coordinators want).
+func (s *SharedDir) Close() error { return nil }
+
+// writeAtomic writes data at path via tmp+rename in the same
+// directory, so concurrent readers see either nothing or the whole
+// file.
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Send implements Transport: spool the ticket, poll for the
+// envelope. On cancellation the unclaimed ticket is withdrawn
+// (best-effort — a runner that already claimed it will finish and
+// write a result nobody collects, which is harmless).
+func (s *SharedDir) Send(ctx context.Context, job Job) (*exp.ShardFile, error) {
+	if err := s.Healthy(ctx); err != nil {
+		return nil, transportError(job, err)
+	}
+	id := fmt.Sprintf("%s-%d-%d-p%d-n%d",
+		strings.ToLower(job.Plan.ID), job.Range.Lo, job.Range.Hi, os.Getpid(), s.nonce.Add(1))
+	ticket, err := json.Marshal(JobTicket{
+		ID:          id,
+		Grid:        job.Grid,
+		Cfg:         job.Cfg,
+		Range:       job.Range,
+		Fingerprint: job.Fingerprint,
+	})
+	if err != nil {
+		return nil, transportError(job, err)
+	}
+	ticketPath := filepath.Join(s.jobsDir(), id+".json")
+	if err := writeAtomic(ticketPath, ticket); err != nil {
+		return nil, transportError(job, err)
+	}
+	envPath := filepath.Join(s.resultsDir(), id+".json")
+	errPath := filepath.Join(s.resultsDir(), id+".err")
+	tick := time.NewTicker(s.poll())
+	defer tick.Stop()
+	for {
+		if data, err := os.ReadFile(envPath); err == nil {
+			return decodeDelivery(job, data)
+		}
+		if note, err := os.ReadFile(errPath); err == nil {
+			return nil, transportError(job, fmt.Errorf("runner failed job %s: %s", id, note))
+		}
+		select {
+		case <-ctx.Done():
+			os.Remove(ticketPath) // withdraw if still unclaimed
+			return nil, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// SharedDirRunner drains a SharedDir spool: claim a ticket, execute
+// its range, write the envelope. Run one per core on as many
+// machines as share the directory — claims are atomic renames, so
+// runners never double-execute a ticket (and even if a filesystem
+// broke that promise, duplicate envelopes are discarded by the
+// coordinator's first-valid-wins rule).
+type SharedDirRunner struct {
+	// Root is the shared directory (same as the transport's).
+	Root string
+	// Poll is the ticket-scan interval (default 25ms).
+	Poll time.Duration
+	// Tag distinguishes this runner in claim markers (default pid).
+	Tag string
+}
+
+func (r *SharedDirRunner) poll() time.Duration {
+	if r.Poll <= 0 {
+		return 25 * time.Millisecond
+	}
+	return r.Poll
+}
+
+// Run drains tickets until ctx is canceled. Every error that is not
+// ctx's is reported through the per-ticket .err note — the runner
+// itself keeps serving.
+func (r *SharedDirRunner) Run(ctx context.Context) error {
+	jobs := filepath.Join(r.Root, "jobs")
+	results := filepath.Join(r.Root, "results")
+	if err := os.MkdirAll(jobs, 0o755); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(results, 0o755); err != nil {
+		return err
+	}
+	tick := time.NewTicker(r.poll())
+	defer tick.Stop()
+	for {
+		names, _ := filepath.Glob(filepath.Join(jobs, "*.json"))
+		for _, ticketPath := range names {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			claimed := ticketPath + ".claimed"
+			if os.Rename(ticketPath, claimed) != nil {
+				continue // another runner won the claim
+			}
+			r.execute(claimed, results)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// RunOnce drains the currently visible tickets and returns — the
+// in-process degraded mode and the unit-test entry point.
+func (r *SharedDirRunner) RunOnce(ctx context.Context) {
+	jobs := filepath.Join(r.Root, "jobs")
+	results := filepath.Join(r.Root, "results")
+	names, _ := filepath.Glob(filepath.Join(jobs, "*.json"))
+	for _, ticketPath := range names {
+		if ctx.Err() != nil {
+			return
+		}
+		claimed := ticketPath + ".claimed"
+		if os.Rename(ticketPath, claimed) != nil {
+			continue
+		}
+		r.execute(claimed, results)
+	}
+}
+
+// execute runs one claimed ticket and writes its envelope or failure
+// note.
+func (r *SharedDirRunner) execute(claimedPath, results string) {
+	fail := func(id string, err error) {
+		if id == "" {
+			id = strings.TrimSuffix(filepath.Base(claimedPath), ".json.claimed")
+		}
+		_ = writeAtomic(filepath.Join(results, id+".err"), []byte(err.Error()))
+	}
+	data, err := os.ReadFile(claimedPath)
+	if err != nil {
+		fail("", err)
+		return
+	}
+	var t JobTicket
+	if err := json.Unmarshal(data, &t); err != nil {
+		fail("", fmt.Errorf("ticket does not parse: %v", err))
+		return
+	}
+	g, ok := exp.GridDriverByID(t.Grid)
+	if !ok {
+		fail(t.ID, fmt.Errorf("unknown grid table %q", t.Grid))
+		return
+	}
+	cfg := t.Cfg
+	cfg.Workers = 1
+	plan := g.Plan(cfg)
+	if fp := exp.Fingerprint(cfg, plan); fp != t.Fingerprint {
+		fail(t.ID, fmt.Errorf("fingerprint skew: ticket %s, this runner derives %s — refusing to compute different cells", t.Fingerprint, fp))
+		return
+	}
+	if t.Range.Lo < 0 || t.Range.Hi > plan.NumCells() || t.Range.Lo > t.Range.Hi {
+		fail(t.ID, fmt.Errorf("range %s out of bounds for %d cells", t.Range, plan.NumCells()))
+		return
+	}
+	env, err := exp.EncodeShardFile(exp.RunShard(cfg, exp.ShardSpec{Plan: plan, Range: t.Range}))
+	if err != nil {
+		fail(t.ID, err)
+		return
+	}
+	if err := writeAtomic(filepath.Join(results, t.ID+".json"), env); err != nil {
+		fail(t.ID, err)
+	}
+}

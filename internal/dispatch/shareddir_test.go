@@ -1,0 +1,176 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"suu/internal/exp"
+)
+
+// sharedDirCfg uses a real registered grid driver: SharedDir runners
+// rebuild the plan from (Grid, Cfg) on their side, which only works
+// for tables in the registry.
+func sharedDirCfg(t *testing.T) (exp.Config, exp.GridPlan) {
+	t.Helper()
+	g, ok := exp.GridDriverByID("A2")
+	if !ok {
+		t.Fatal("A2 driver missing")
+	}
+	cfg := exp.Config{Quick: true, Seed: 9, Workers: 1}
+	return cfg, g.Plan(cfg)
+}
+
+// TestSharedDirRoundTrip: tickets spooled by the transport are
+// claimed and executed by a runner process loop, and the collected
+// envelopes merge to the sequential bytes.
+func TestSharedDirRoundTrip(t *testing.T) {
+	cfg, plan := sharedDirCfg(t)
+	want := sequentialBytes(t, cfg, plan)
+	root := t.TempDir()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runnerDone := make(chan struct{})
+	go func() {
+		defer close(runnerDone)
+		r := &SharedDirRunner{Root: root, Poll: 2 * time.Millisecond}
+		r.Run(ctx)
+	}()
+
+	sd := &SharedDir{ID: "dir-0", Root: root, Poll: 2 * time.Millisecond}
+	c := New([]Transport{sd}, Options{Shards: 3, MaxInFlightPerRunner: 2})
+	m, _, _, err := c.Run(ctx, cfg, "A2", plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !bytes.Equal(mergedBytes(t, m), want) {
+		t.Error("shared-dir merge differs from sequential bytes")
+	}
+	cancel()
+	<-runnerDone
+
+	// The spool should hold claimed tickets, not waiting ones.
+	if names, _ := filepath.Glob(filepath.Join(root, "jobs", "*.json")); len(names) != 0 {
+		t.Errorf("unclaimed tickets left behind: %v", names)
+	}
+}
+
+// TestSharedDirFingerprintSkewRefused: a runner that derives a
+// different fingerprint from (Grid, Cfg) — version skew — must refuse
+// the ticket with a loud .err note instead of computing different
+// cells; the transport surfaces it as a typed, re-issuable fault.
+func TestSharedDirFingerprintSkewRefused(t *testing.T) {
+	cfg, plan := sharedDirCfg(t)
+	root := t.TempDir()
+
+	sd := &SharedDir{Root: root, Poll: time.Millisecond}
+	job := NewJob(cfg, "A2", plan, exp.CellRange{Lo: 0, Hi: 2})
+	job.Fingerprint = "deadbeefdeadbeef" // what a skewed coordinator would send
+
+	sendErr := make(chan error, 1)
+	go func() {
+		_, err := sd.Send(context.Background(), job)
+		sendErr <- err
+	}()
+	// Drain the ticket with a current-version runner.
+	r := &SharedDirRunner{Root: root, Poll: time.Millisecond}
+	deadline := time.After(10 * time.Second)
+	for {
+		r.RunOnce(context.Background())
+		select {
+		case err := <-sendErr:
+			if err == nil {
+				t.Fatal("skewed ticket executed")
+			}
+			var fe *exp.EnvelopeFaultError
+			if !errors.As(err, &fe) {
+				t.Fatalf("skew refusal: err %T is not an envelope fault: %v", err, err)
+			}
+			if !strings.Contains(err.Error(), "fingerprint skew") {
+				t.Errorf("skew refusal does not say so: %v", err)
+			}
+			var miss *exp.MissingRangeError
+			if !errors.As(err, &miss) || miss.Range != job.Range {
+				t.Errorf("skew refusal not re-issuable for %v: %v", job.Range, err)
+			}
+			return
+		case <-deadline:
+			t.Fatal("skewed ticket never refused")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestSharedDirUnknownGridRefused: a ticket naming a grid the runner
+// does not know fails with a note, not silence.
+func TestSharedDirUnknownGridRefused(t *testing.T) {
+	cfg, plan := sharedDirCfg(t)
+	root := t.TempDir()
+	sd := &SharedDir{Root: root, Poll: time.Millisecond}
+	job := NewJob(cfg, "T99", plan, exp.CellRange{Lo: 0, Hi: 2})
+
+	sendErr := make(chan error, 1)
+	go func() {
+		_, err := sd.Send(context.Background(), job)
+		sendErr <- err
+	}()
+	r := &SharedDirRunner{Root: root, Poll: time.Millisecond}
+	deadline := time.After(10 * time.Second)
+	for {
+		r.RunOnce(context.Background())
+		select {
+		case err := <-sendErr:
+			if err == nil || !strings.Contains(err.Error(), "unknown grid") {
+				t.Fatalf("unknown-grid ticket: err = %v, want refusal", err)
+			}
+			return
+		case <-deadline:
+			t.Fatal("unknown-grid ticket never refused")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestSharedDirCancellationWithdrawsTicket: canceling a Send removes
+// the unclaimed ticket so no runner burns time on an abandoned job.
+func TestSharedDirCancellationWithdrawsTicket(t *testing.T) {
+	cfg, plan := sharedDirCfg(t)
+	root := t.TempDir()
+	sd := &SharedDir{Root: root, Poll: time.Millisecond}
+	job := NewJob(cfg, "A2", plan, exp.CellRange{Lo: 0, Hi: 2})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := sd.Send(ctx, job)
+		done <- err
+	}()
+	// Wait until the ticket is spooled, then cancel.
+	deadline := time.After(10 * time.Second)
+	for {
+		names, _ := filepath.Glob(filepath.Join(root, "jobs", "*.json"))
+		if len(names) > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("ticket never spooled")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled send: err = %v", err)
+	}
+	if names, _ := filepath.Glob(filepath.Join(root, "jobs", "*")); len(names) != 0 {
+		t.Errorf("ticket not withdrawn on cancel: %v", names)
+	}
+}

@@ -85,6 +85,47 @@ type GridHarnessBench struct {
 	Speedup        float64 `json:"speedup"`
 }
 
+// DispatchRunnerBench is one runner's throughput record from the
+// dispatch benchmark.
+type DispatchRunnerBench struct {
+	Name        string  `json:"name"`
+	Jobs        int     `json:"jobs"`
+	Cells       int     `json:"cells"`
+	Failures    int     `json:"failures"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+}
+
+// DispatchBench records the fault-tolerant dispatch layer's overhead:
+// the same grid sweep coordinated fault-free and under heavy injected
+// chaos, with the robustness counters (re-issues, re-slices,
+// degradations) and the wall-clock cost of surviving the faults. The
+// type lives here (not in internal/dispatch) so the BENCH_sim.json
+// document stays a single package's contract; internal/dispatch fills
+// it and cmd/suu-bench wires it in.
+type DispatchBench struct {
+	Grid   string `json:"grid"`
+	Cells  int    `json:"cells"`
+	Shards int    `json:"shards"`
+	// ChaosRate is the total injected fault rate of the chaos leg,
+	// split evenly across the six fault classes.
+	ChaosRate      float64               `json:"chaos_rate"`
+	Runners        []DispatchRunnerBench `json:"runners"`
+	FaultsInjected map[string]int        `json:"faults_injected"`
+	FaultsDetected int                   `json:"faults_detected"`
+	ReIssues       int                   `json:"re_issues"`
+	ReSlices       int                   `json:"re_slices"`
+	Degradations   int                   `json:"degradations"`
+	// CleanWallMS / ChaosWallMS are the fault-free and chaos sweep
+	// wall-clocks; OverheadPct is the chaos penalty relative to clean.
+	CleanWallMS float64 `json:"clean_wall_ms"`
+	ChaosWallMS float64 `json:"chaos_wall_ms"`
+	OverheadPct float64 `json:"overhead_pct"`
+	// Parity records that the chaos merge was byte-identical to the
+	// fault-free merge — the whole point; a false here is a bug.
+	Parity bool   `json:"parity"`
+	Error  string `json:"error,omitempty"`
+}
+
 // AdaptiveEngineBench is one row of the adaptive_engine section: the
 // compiled transition-table engine measured head to head against the
 // generic step engine on the same stationary policy — the number the
@@ -182,6 +223,10 @@ type SimBenchFile struct {
 	// Grid records the scenario-grid harness's cell throughput and
 	// parallel speedup.
 	Grid *GridHarnessBench `json:"grid_harness,omitempty"`
+	// Dispatch records the fault-tolerant dispatch layer: per-runner
+	// throughput and the wall-clock overhead of a chaos sweep vs the
+	// fault-free run (filled by internal/dispatch via cmd/suu-bench).
+	Dispatch *DispatchBench `json:"dispatch,omitempty"`
 	// Skipped records families whose schedule construction failed, so
 	// a lost row reads as an error instead of silently shrinking the
 	// perf record.

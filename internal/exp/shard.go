@@ -30,8 +30,10 @@ import (
 // mix versions: a coordinator must never splice rows produced under a
 // different payload contract. Version 2 added the engine and
 // prefix_len payload columns (and cells may carry param overrides and
-// custom evaluators).
-const ShardSchemaVersion = 2
+// custom evaluators). Version 3 added the per-envelope payload
+// checksum, which lets a coordinator detect corruption in transit
+// instead of trusting whatever bytes arrive.
+const ShardSchemaVersion = 3
 
 // CellRange is a half-open slice [Lo:Hi) of a plan's Cells() order.
 type CellRange struct {
@@ -68,6 +70,29 @@ func ParseCellRange(s string, total int) (CellRange, error) {
 		return CellRange{}, fmt.Errorf("exp: cell range %q out of bounds for %d cells", s, total)
 	}
 	return CellRange{Lo: lo, Hi: hi}, nil
+}
+
+// Split partitions the range into k contiguous near-equal sub-ranges
+// (same size rule as ShardRanges, shifted to the range's origin) — the
+// re-slice a coordinator dispatches when a range straggles. Empty tail
+// sub-ranges appear when k exceeds the range length, mirroring
+// ShardRanges; callers that dispatch work should skip zero-length
+// slices.
+func (r CellRange) Split(k int) []CellRange {
+	out := ShardRanges(r.Len(), k)
+	for i := range out {
+		out[i].Lo += r.Lo
+		out[i].Hi += r.Lo
+	}
+	return out
+}
+
+// Contains reports whether r covers all of s.
+func (r CellRange) Contains(s CellRange) bool { return r.Lo <= s.Lo && s.Hi <= r.Hi }
+
+// Overlaps reports whether the two ranges share at least one cell.
+func (r CellRange) Overlaps(s CellRange) bool {
+	return r.Len() > 0 && s.Len() > 0 && r.Lo < s.Hi && s.Lo < r.Hi
 }
 
 // ParseShard parses "k/N" (0-indexed shard k of N) and returns the
@@ -248,16 +273,71 @@ type ShardCell struct {
 // ShardFile is the portable partial-result envelope one worker
 // process writes.
 type ShardFile struct {
-	SchemaVersion int         `json:"schema_version"`
-	Fingerprint   string      `json:"fingerprint"`
-	Plan          string      `json:"plan"`
-	Seed          int64       `json:"seed"`
-	Quick         bool        `json:"quick"`
-	TotalCells    int         `json:"total_cells"`
-	Range         CellRange   `json:"range"`
-	GoVersion     string      `json:"go_version"`
-	WallMS        float64     `json:"wall_ms"`
+	SchemaVersion int       `json:"schema_version"`
+	Fingerprint   string    `json:"fingerprint"`
+	Plan          string    `json:"plan"`
+	Seed          int64     `json:"seed"`
+	Quick         bool      `json:"quick"`
+	TotalCells    int       `json:"total_cells"`
+	Range         CellRange `json:"range"`
+	GoVersion     string    `json:"go_version"`
+	WallMS        float64   `json:"wall_ms"`
+	// PayloadSHA256 is the hex checksum of the envelope's deterministic
+	// payload — fingerprint, range, and row payloads, but not timings —
+	// computed by the producing worker (SealPayload) and re-verified by
+	// every decode, so a byte flipped in transit is detected instead of
+	// merged. Empty means unsealed (hand-built test envelopes); decode
+	// then skips the check.
+	PayloadSHA256 string      `json:"payload_sha256,omitempty"`
 	Cells         []ShardCell `json:"cells"`
+}
+
+// payloadChecksum hashes everything a corrupted envelope could lie
+// about that Merge would propagate: the identity header, the declared
+// range, and every row's deterministic payload (CellRow — BuildMS is
+// provenance and deliberately excluded, so a damaged timing never
+// poisons an otherwise-sound envelope).
+func (f *ShardFile) payloadChecksum() string {
+	rows := make([]CellRow, len(f.Cells))
+	for i, c := range f.Cells {
+		rows[i] = c.CellRow
+	}
+	doc, err := json.Marshal(struct {
+		Schema      int       `json:"schema"`
+		Fingerprint string    `json:"fingerprint"`
+		Plan        string    `json:"plan"`
+		Seed        int64     `json:"seed"`
+		Quick       bool      `json:"quick"`
+		TotalCells  int       `json:"total_cells"`
+		Range       CellRange `json:"range"`
+		Rows        []CellRow `json:"rows"`
+	}{f.SchemaVersion, f.Fingerprint, f.Plan, f.Seed, f.Quick, f.TotalCells, f.Range, rows})
+	if err != nil {
+		// Plain data; marshal cannot fail.
+		panic("exp: payload checksum marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:16])
+}
+
+// SealPayload stamps the envelope's payload checksum. RunShard seals
+// automatically; callers that mutate Cells afterwards must re-seal.
+func (f *ShardFile) SealPayload() { f.PayloadSHA256 = f.payloadChecksum() }
+
+// VerifyPayload re-computes the payload checksum against the sealed
+// value. Unsealed envelopes pass vacuously.
+func (f *ShardFile) VerifyPayload() error {
+	if f.PayloadSHA256 == "" {
+		return nil
+	}
+	if got := f.payloadChecksum(); got != f.PayloadSHA256 {
+		return &EnvelopeFaultError{
+			Range: f.Range,
+			Class: FaultChecksum,
+			Err:   fmt.Errorf("payload checksum %s, envelope sealed as %s", got, f.PayloadSHA256),
+		}
+	}
+	return nil
 }
 
 // MergedGrid is the canonical whole-sweep document Merge produces:
@@ -351,7 +431,103 @@ func RunShard(cfg Config, s ShardSpec) *ShardFile {
 		})
 	}
 	f.WallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	f.SealPayload()
 	return f
+}
+
+// Fault classes an EnvelopeFaultError carries — how a delivered
+// envelope was detected as unusable.
+const (
+	// FaultParse: the bytes did not decode as a shard envelope
+	// (truncation, garbage, foreign document).
+	FaultParse = "parse"
+	// FaultChecksum: the envelope decoded but its payload does not
+	// re-hash to the sealed checksum (bit corruption in transit).
+	FaultChecksum = "checksum"
+	// FaultFingerprint: the envelope was cut from a different (config,
+	// plan) pair than the sweep expects.
+	FaultFingerprint = "fingerprint"
+	// FaultMisindex: row indices or row count disagree with the
+	// declared range (shuffled, shifted, or partially lost rows).
+	FaultMisindex = "misindex"
+	// FaultMisdelivery: a transport returned an envelope for a range
+	// nobody asked it for (stale duplicate, crossed wires).
+	FaultMisdelivery = "misdelivery"
+	// FaultTransport: the transport failed outright — worker death,
+	// injected drop, lost connection — and delivered nothing.
+	FaultTransport = "transport"
+)
+
+// EnvelopeFaultError reports a detected fault in a delivered envelope
+// or its delivery. It is typed so coordinators can classify every
+// detected corruption as a re-issuable gap: the error unwraps to a
+// *MissingRangeError for the range the envelope was supposed to
+// cover, which re-enters the same retry loop a killed worker does.
+// Nothing about a faulty envelope is trusted — the whole range is
+// re-issued.
+type EnvelopeFaultError struct {
+	// Range is the cell range whose delivery faulted (the requested
+	// range, not whatever the corrupt envelope claims).
+	Range CellRange
+	// Class is one of the Fault* constants.
+	Class string
+	// Err details the detection.
+	Err error
+}
+
+func (e *EnvelopeFaultError) Error() string {
+	return fmt.Sprintf("exp: envelope fault (%s) for range %s: %v", e.Class, e.Range, e.Err)
+}
+
+// Unwrap exposes both the underlying detection error and the
+// re-issuable gap, so errors.As finds a *MissingRangeError carrying
+// exactly the range to re-dispatch.
+func (e *EnvelopeFaultError) Unwrap() []error {
+	errs := []error{&MissingRangeError{Range: e.Range}}
+	if e.Err != nil {
+		errs = append(errs, e.Err)
+	}
+	return errs
+}
+
+// ValidateShardFile checks a delivered envelope against the sweep it
+// is supposed to belong to: schema version, fingerprint, declared
+// range within the request, row count and row indices, and the sealed
+// payload checksum. Every failure is an *EnvelopeFaultError for the
+// requested range — detected corruption converts into a re-issuable
+// gap, never into trusted rows. want is the range the envelope was
+// requested for; fingerprint and total describe the sweep.
+func ValidateShardFile(f *ShardFile, want CellRange, fingerprint string, total int) error {
+	fault := func(class string, err error) error {
+		return &EnvelopeFaultError{Range: want, Class: class, Err: err}
+	}
+	if f.Range != want {
+		return fault(FaultMisdelivery, fmt.Errorf("envelope covers %s, requested %s", f.Range, want))
+	}
+	if f.SchemaVersion != ShardSchemaVersion {
+		return fault(FaultParse, fmt.Errorf("schema version %d, this binary speaks %d", f.SchemaVersion, ShardSchemaVersion))
+	}
+	if f.Fingerprint != fingerprint {
+		return fault(FaultFingerprint, fmt.Errorf("envelope fingerprint %s, sweep is %s", f.Fingerprint, fingerprint))
+	}
+	if f.TotalCells != total {
+		return fault(FaultFingerprint, fmt.Errorf("envelope total %d cells, sweep has %d", f.TotalCells, total))
+	}
+	if f.Range.Lo < 0 || f.Range.Hi > total || f.Range.Lo > f.Range.Hi {
+		return fault(FaultMisindex, fmt.Errorf("range %s invalid for %d cells", f.Range, total))
+	}
+	if len(f.Cells) != f.Range.Len() {
+		return fault(FaultMisindex, fmt.Errorf("%d rows for range %s, want %d", len(f.Cells), f.Range, f.Range.Len()))
+	}
+	for i, c := range f.Cells {
+		if c.Index != f.Range.Lo+i {
+			return fault(FaultMisindex, fmt.Errorf("row %d tagged index %d, want %d", i, c.Index, f.Range.Lo+i))
+		}
+	}
+	if err := f.VerifyPayload(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // MissingRangeError reports a gap in a shard tiling: no envelope
@@ -491,13 +667,20 @@ func ShardResults(shards []*ShardFile) []GridResult {
 }
 
 // DecodeShardFile parses a shard envelope, rejecting unknown fields
-// so a truncated or foreign document fails at decode, not at merge.
+// so a truncated or foreign document fails at decode, not at merge,
+// and re-verifies the sealed payload checksum so bit corruption in
+// transit fails here too. Both failure modes return an
+// *EnvelopeFaultError (parse faults with the envelope's declared
+// range when one decoded, the zero range otherwise).
 func DecodeShardFile(data []byte) (*ShardFile, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var f ShardFile
 	if err := dec.Decode(&f); err != nil {
-		return nil, fmt.Errorf("exp: decode shard file: %w", err)
+		return nil, &EnvelopeFaultError{Range: f.Range, Class: FaultParse, Err: fmt.Errorf("decode shard file: %w", err)}
+	}
+	if err := f.VerifyPayload(); err != nil {
+		return nil, err
 	}
 	return &f, nil
 }

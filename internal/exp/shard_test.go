@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -371,5 +372,133 @@ func TestFingerprintSensitivity(t *testing.T) {
 	other.Specs[0].Trials = 4
 	if Fingerprint(cfg, other) == base {
 		t.Error("fingerprint blind to spec shape")
+	}
+}
+
+// TestCellRangeSplit: sub-slicing tiles the parent range exactly with
+// near-equal sizes, so straggler re-slices can never change coverage.
+func TestCellRangeSplit(t *testing.T) {
+	for _, tc := range []struct{ lo, hi, k int }{
+		{4, 14, 3}, {0, 1, 2}, {7, 7, 2}, {3, 19, 1}, {5, 9, 4},
+	} {
+		r := CellRange{Lo: tc.lo, Hi: tc.hi}
+		parts := r.Split(tc.k)
+		if len(parts) != tc.k {
+			t.Fatalf("%v.Split(%d): %d parts", r, tc.k, len(parts))
+		}
+		next := r.Lo
+		for _, p := range parts {
+			if p.Lo != next || p.Hi < p.Lo {
+				t.Fatalf("%v.Split(%d): bad tiling at %v", r, tc.k, p)
+			}
+			if !r.Contains(p) {
+				t.Fatalf("%v.Split(%d): %v escapes the parent", r, tc.k, p)
+			}
+			next = p.Hi
+		}
+		if next != r.Hi {
+			t.Fatalf("%v.Split(%d): covers to %d, want %d", r, tc.k, next, r.Hi)
+		}
+	}
+	if !(CellRange{2, 5}).Overlaps(CellRange{4, 9}) || (CellRange{2, 5}).Overlaps(CellRange{5, 9}) {
+		t.Error("Overlaps: half-open boundary wrong")
+	}
+	if (CellRange{2, 2}).Overlaps(CellRange{0, 9}) {
+		t.Error("Overlaps: empty range overlaps")
+	}
+}
+
+// TestEnvelopeChecksumDetectsCorruption is the corruption contract:
+// RunShard seals the payload, decode verifies it, and a flipped bit in
+// the payload region fails decode with a typed fault that unwraps to
+// the re-issuable *MissingRangeError for the envelope's range.
+func TestEnvelopeChecksumDetectsCorruption(t *testing.T) {
+	cfg, plan := shardTestConfig(), shardTestPlan()
+	f := RunShard(cfg, ShardSpec{Plan: plan, Range: CellRange{0, 6}})
+	if f.PayloadSHA256 == "" {
+		t.Fatal("RunShard left the envelope unsealed")
+	}
+	if err := f.VerifyPayload(); err != nil {
+		t.Fatalf("fresh envelope fails verification: %v", err)
+	}
+	data, err := EncodeShardFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one digit inside the payload (a mean value), keeping the
+	// JSON valid so only the checksum can catch it.
+	i := bytes.Index(data, []byte(`"mean": `))
+	if i < 0 {
+		t.Fatal("no mean field in envelope")
+	}
+	corrupt := append([]byte(nil), data...)
+	j := i + len(`"mean": `)
+	if corrupt[j] == '9' {
+		corrupt[j] = '8'
+	} else {
+		corrupt[j] = '9'
+	}
+	_, err = DecodeShardFile(corrupt)
+	var fault *EnvelopeFaultError
+	if !errors.As(err, &fault) || fault.Class != FaultChecksum {
+		t.Fatalf("corrupt envelope decoded: err = %v, want checksum fault", err)
+	}
+	var miss *MissingRangeError
+	if !errors.As(err, &miss) || (miss.Range != CellRange{0, 6}) {
+		t.Errorf("fault does not unwrap to the re-issuable range: %v", err)
+	}
+	// Timings are provenance, not payload: a damaged wall-clock must
+	// NOT fail the checksum (merged bytes are unaffected by it).
+	g := *f
+	g.WallMS = f.WallMS + 1000
+	if err := g.VerifyPayload(); err != nil {
+		t.Errorf("timing damage failed the payload checksum: %v", err)
+	}
+}
+
+// TestValidateShardFile: every way a delivered envelope can lie is a
+// typed fault for the requested range.
+func TestValidateShardFile(t *testing.T) {
+	cfg, plan := shardTestConfig(), shardTestPlan()
+	total := plan.NumCells()
+	want := CellRange{0, 6}
+	fp := Fingerprint(cfg, plan)
+	fresh := func() *ShardFile { return RunShard(cfg, ShardSpec{Plan: plan, Range: want}) }
+	if err := ValidateShardFile(fresh(), want, fp, total); err != nil {
+		t.Fatalf("sound envelope rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name  string
+		class string
+		mutf  func(*ShardFile)
+	}{
+		{"misdelivered range", FaultMisdelivery, func(f *ShardFile) { f.Range = CellRange{6, 12}; f.SealPayload() }},
+		{"foreign fingerprint", FaultFingerprint, func(f *ShardFile) { f.Fingerprint = "feedfacefeedface"; f.SealPayload() }},
+		{"wrong total", FaultFingerprint, func(f *ShardFile) { f.TotalCells = total + 1; f.SealPayload() }},
+		{"dropped row", FaultMisindex, func(f *ShardFile) { f.Cells = f.Cells[:len(f.Cells)-1]; f.SealPayload() }},
+		{"shifted indices", FaultMisindex, func(f *ShardFile) {
+			for i := range f.Cells {
+				f.Cells[i].Index++
+			}
+			f.SealPayload()
+		}},
+		{"flipped payload", FaultChecksum, func(f *ShardFile) { f.Cells[2].Mean += 1 }},
+		{"foreign schema", FaultParse, func(f *ShardFile) { f.SchemaVersion++; f.SealPayload() }},
+	} {
+		f := fresh()
+		tc.mutf(f)
+		err := ValidateShardFile(f, want, fp, total)
+		var fault *EnvelopeFaultError
+		if !errors.As(err, &fault) {
+			t.Errorf("%s: err = %v, want EnvelopeFaultError", tc.name, err)
+			continue
+		}
+		if fault.Class != tc.class {
+			t.Errorf("%s: class %s, want %s", tc.name, fault.Class, tc.class)
+		}
+		var miss *MissingRangeError
+		if !errors.As(err, &miss) || miss.Range != want {
+			t.Errorf("%s: fault does not unwrap to MissingRangeError{%v}: %v", tc.name, want, err)
+		}
 	}
 }
