@@ -35,6 +35,12 @@
 //	                          # feasible) and print the comparison
 //	                          # table; with -json the record holds just
 //	                          # the exact_solver section
+//	suu-bench -serve          # run ONLY the serving-layer load harness
+//	                          # (1000 concurrent clients, mixed
+//	                          # repeat/fresh workload, cache-hit vs
+//	                          # cold latency, coalescing counters) and
+//	                          # print the summary; with -json the
+//	                          # record holds just the serve section
 //
 // Distributed sweeps (see README "Distributed sweeps"): a shardable
 // grid table (T13, T14, the T10 solver sweep, the A2/A5 ablation
@@ -71,6 +77,7 @@ import (
 
 	"suu/internal/dispatch"
 	"suu/internal/exp"
+	"suu/internal/serve"
 )
 
 func main() {
@@ -82,6 +89,7 @@ func main() {
 		jsonPath  = flag.String("json", "", "write engine benchmark results to this file (e.g. BENCH_sim.json)")
 		lpOnly    = flag.Bool("lp", false, "benchmark the LP layer in isolation and exit (skips the experiment drivers)")
 		exactOnly = flag.Bool("exact", false, "benchmark the exact solver in isolation and exit (skips the experiment drivers)")
+		serveOnly = flag.Bool("serve", false, "run the serving-layer load harness in isolation and exit (skips the experiment drivers)")
 		commit    = flag.String("commit", os.Getenv("GITHUB_SHA"), "commit SHA to embed in the -json perf record (defaults to $GITHUB_SHA)")
 
 		gridID    = flag.String("grid", "", "run one shardable grid table (T13, T14, T10, A2, A5) through the cell-range path")
@@ -110,8 +118,38 @@ func main() {
 		log.Fatal("-cells/-shard/-json-cells need -grid (or -merge for -json-cells)")
 	}
 
-	if *lpOnly && *exactOnly {
-		log.Fatal("-lp and -exact are mutually exclusive")
+	exclusive := 0
+	for _, f := range []bool{*lpOnly, *exactOnly, *serveOnly} {
+		if f {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		log.Fatal("-lp, -exact and -serve are mutually exclusive")
+	}
+	if *serveOnly {
+		start := time.Now()
+		b := serve.Benchmark(cfg)
+		fmt.Printf("serve storm: %d clients, %d requests in %.0fms (%.0f req/s)\n",
+			b.Clients, b.Requests, b.WallMS, b.RequestsPerSec)
+		fmt.Printf("  cold solve p50 %.3fms p99 %.3fms | cache-hit p50 %.4fms p99 %.4fms | speedup %.0fx\n",
+			b.ColdP50MS, b.ColdP99MS, b.HitP50MS, b.HitP99MS, b.SpeedupP50)
+		fmt.Printf("  hit rate %.2f | %d hits, %d misses, %d coalesced, %d evictions | %d errors\n",
+			b.HitRate, b.Hits, b.Misses, b.Coalesced, b.Evictions, b.Errors)
+		fmt.Printf("_serve load harness completed in %.1fs_\n", time.Since(start).Seconds())
+		if *jsonPath != "" {
+			file := exp.NewSimBenchFile(cfg)
+			file.Commit = *commit
+			file.Serve = b
+			out, err := exp.WriteSimBenchJSON(file)
+			if err != nil {
+				log.Fatalf("marshal serve benchmarks: %v", err)
+			}
+			if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+				log.Fatalf("write %s: %v", *jsonPath, err)
+			}
+		}
+		return
 	}
 	if *exactOnly {
 		start := time.Now()
@@ -181,10 +219,11 @@ func main() {
 		start := time.Now()
 		file := exp.SimBenchmarks(cfg)
 		file.Commit = *commit
-		// The dispatch section is filled here rather than inside
-		// exp.SimBenchmarks: the coordinator lives above exp, so the
-		// benchmark does too.
+		// The dispatch and serve sections are filled here rather than
+		// inside exp.SimBenchmarks: those layers live above exp, so
+		// their benchmarks do too.
 		file.Dispatch = dispatch.Benchmark(cfg)
+		file.Serve = serve.Benchmark(cfg)
 		out, err := exp.WriteSimBenchJSON(file)
 		if err != nil {
 			log.Fatalf("marshal engine benchmarks: %v", err)

@@ -1,0 +1,75 @@
+// Command suu-serve runs the scheduling stack as a long-lived HTTP
+// daemon: the solver registry, the simulation engines, and the LP
+// layer behind a JSON API, with content-addressed caches (compiled
+// engines, LP warm-start bases, response bodies) in front of every
+// expensive step. See internal/serve for the endpoint catalogue and
+// the caching contract, and README "Serving" for examples.
+//
+// Usage:
+//
+//	suu-serve -addr :8080
+//	curl -s localhost:8080/v1/solvers
+//	suu-gen -family chains -jobs 16 | curl -s -X POST --data-binary @- \
+//	    localhost:8080/v1/instances
+//	curl -s -X POST -d '{"instance_id":"<id>","solver":"auto"}' \
+//	    localhost:8080/v1/solve
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"suu/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		resultMB  = flag.Int64("result-cache-mb", 64, "result cache budget (solve/estimate responses and schedules), MiB")
+		engineMB  = flag.Int64("engine-cache-mb", 128, "compiled-engine cache budget, MiB")
+		basisMB   = flag.Int64("basis-cache-mb", 4, "LP warm-start basis cache budget, MiB")
+		instMB    = flag.Int64("instance-cache-mb", 32, "submitted-instance store budget, MiB")
+		maxReps   = flag.Int("max-reps", 1<<17, "per-request repetition cap (direct or via the ci_half_width loop)")
+		workers   = flag.Int("workers", 0, "estimation concurrency per request (0 = GOMAXPROCS; results are bit-identical at any setting)")
+		drainSecs = flag.Int("drain-secs", 10, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+
+	handler := serve.New(serve.Config{
+		ResultCacheBytes:   *resultMB << 20,
+		EngineCacheBytes:   *engineMB << 20,
+		BasisCacheBytes:    *basisMB << 20,
+		InstanceCacheBytes: *instMB << 20,
+		MaxReps:            *maxReps,
+		Workers:            *workers,
+	})
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("suu-serve listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("signal received, draining for up to %ds", *drainSecs)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+}

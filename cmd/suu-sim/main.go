@@ -49,6 +49,7 @@ func main() {
 	if *list {
 		fmt.Print("auto: strongest registered construction for the instance's class (suu.Solve dispatch)\n\n")
 		fmt.Print(solve.Describe())
+		fmt.Print("\nDiagnostics: -stats prints prefix statistics for oblivious schedules;\nfor -alg optimal it prints the value iteration's search counters\n(states, layers, assignments enumerated/pruned, closed-form hits).\n")
 		return
 	}
 
@@ -104,8 +105,20 @@ func main() {
 			}
 			fmt.Printf("schedule written to %s\n", *export)
 		}
-	} else if *gantt > 0 || *export != "" || *stats {
-		fmt.Println("(gantt/export/stats ignored: schedule is adaptive)")
+	} else {
+		if *gantt > 0 || *export != "" {
+			fmt.Println("(gantt/export ignored: schedule is adaptive)")
+		}
+		if *stats {
+			if st := res.Exact; st != nil {
+				fmt.Printf("exact search: %d closed states over %d layers (max eligible antichain %d, %d workers)\n",
+					st.States, st.Layers, st.MaxEligible, st.Workers)
+				fmt.Printf("  %d assignments enumerated, %d pruned by incumbent, %d transition entries, %d closed-form states\n",
+					st.Assignments, st.Pruned, st.Transitions, st.ClosedForm)
+			} else {
+				fmt.Println("(stats ignored: adaptive schedule has no oblivious prefix and no search counters)")
+			}
+		}
 	}
 
 	sum, incomplete := sim.Estimate(in, res.Policy, *reps, *maxSteps, *seed)

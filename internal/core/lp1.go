@@ -28,6 +28,17 @@ type FracSolution struct {
 	// structural variables, structural nonzeros), so the perf record
 	// tracks LP effort, not just wall-clock.
 	Rows, Cols, Nnz int
+	// Basis is the optimal simplex basis of the solve, exported for
+	// warm-start caches: feeding it back through Params.WarmBasis on a
+	// re-solve of the identical problem starts the simplex at its own
+	// optimum and terminates in the phase-2 optimality check, pivot-
+	// free, at the same vertex (objective equal to roundoff — the fresh
+	// factorization rounds differently than the original run's eta
+	// file). Set on the direct (LP2) path only — the
+	// lazy (LP1) path's final basis spans generated cut rows a fresh
+	// solve does not have, so it could never be adopted (nil there, and
+	// from the dense oracle).
+	Basis *lp.Basis
 }
 
 // LPWarm carries crash-basis information across the per-block LP
@@ -70,11 +81,22 @@ type lpOptions struct {
 	// warm biases the crash basis across per-block solves (sparse path
 	// only).
 	warm *LPWarm
+	// crash, when set and row-compatible with the problem, replaces the
+	// synthesized crash basis outright — a caller-cached optimal basis
+	// from an earlier solve of the same problem (Params.WarmBasis).
+	crash *lp.Basis
 }
 
 func (o lpOptions) solve(prob *lp.Problem, crash *lp.Basis) (*lp.Solution, error) {
 	if o.dense {
 		return prob.DenseSolve()
+	}
+	if o.crash != nil && len(o.crash.Basic) == prob.NumConstraints() {
+		// Row-count mismatch means the cached basis was cut from a
+		// different formulation; SolveFrom would fall back to the
+		// all-logical basis, which is strictly worse than the crash
+		// basis, so only adopt when the shape can match.
+		return prob.SolveFrom(o.crash)
 	}
 	return prob.SolveFrom(crash)
 }
@@ -359,6 +381,7 @@ func solveLP2(in *model.Instance, jobs []int, target float64, opts lpOptions) (*
 		return nil, fmt.Errorf("core: LP2 solve: %w", err)
 	}
 	fs := extractSolution(in, jobs, pairs, sol, nil, tVar)
+	fs.Basis = sol.Basis
 	if opts.warm != nil {
 		opts.warm.note(in, fs)
 	}

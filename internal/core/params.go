@@ -1,22 +1,10 @@
-// Package core implements the approximation algorithms of Lin &
-// Rajaraman, "Approximation Algorithms for Multiprocessor Scheduling
-// under Uncertainty" (SPAA 2007):
-//
-//   - MSM-ALG and MSM-E-ALG, the greedy 1/3-approximations for the
-//     MaxSumMass subproblems (Section 3.1, Figure 2; Lemma 3.4);
-//   - SUU-I-ALG, the adaptive O(log n)-approximation for independent
-//     jobs (Theorem 3.3);
-//   - SUU-I-OBL, the oblivious O(log² n)-approximation (Theorem 3.6);
-//   - the (LP1)/(LP2) relaxations for AccuMass-C, their rounding via
-//     bucketing and integral max flow (Theorem 4.1), pseudo-schedule
-//     construction, random-delay conversion and replication, yielding
-//     the chains algorithm (Theorem 4.4), the LP-based independent-jobs
-//     algorithm (Theorem 4.5) and the tree/forest algorithms
-//     (Theorems 4.7 and 4.8);
-//   - baseline policies used by the experiment harness.
 package core
 
-import "math"
+import (
+	"math"
+
+	"suu/internal/lp"
+)
 
 // Params collects the tunable constants of the constructions. The
 // defaults are the constants used in the paper's proofs; the ablation
@@ -51,6 +39,18 @@ type Params struct {
 	// yields may sit at a different optimal vertex; T* is identical up
 	// to LP tolerance. Used by cross-checks and the benchmark harness.
 	DenseLP bool
+	// WarmBasis, when non-nil and row-compatible, seeds the (LP2) solve
+	// of SUUIndependentLP in place of the synthesized crash basis — the
+	// warm-start hook for caches (internal/serve) that keep the optimal
+	// basis of an earlier solve of the identical instance. Feeding a
+	// solve its own optimal basis re-derives the same vertex pivot-free;
+	// T* agrees with the cold solve to floating-point roundoff (fresh
+	// factorization vs the cold run's eta file) and the rounding and
+	// schedule are unchanged (pinned by test). Runtime-only: never
+	// serialized with the params, ignored by the dense oracle and by
+	// pipelines that solve (LP1) lazily (their final bases span
+	// generated cut rows and could not be adopted).
+	WarmBasis *lp.Basis
 }
 
 // DefaultParams returns the paper's constants.

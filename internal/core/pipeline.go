@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"suu/internal/dag"
+	"suu/internal/lp"
 	"suu/internal/model"
 	"suu/internal/sched"
 )
@@ -135,6 +136,10 @@ type ChainsResult struct {
 	// LPPivots, LPRows, LPCols and LPNnz report the LP solve's effort
 	// and dimensions, for the perf harness.
 	LPPivots, LPRows, LPCols, LPNnz int
+	// LPBasis is the optimal simplex basis of the solve, for warm-start
+	// caches (see Params.WarmBasis). Non-nil only on the direct sparse
+	// (LP2) path.
+	LPBasis *lp.Basis
 }
 
 // SUUChains is the algorithm of Theorem 4.4 for disjoint-chain
@@ -241,7 +246,7 @@ func SUUIndependentLP(in *model.Instance, par Params) (*ChainsResult, error) {
 	for j := range jobs {
 		jobs[j] = j
 	}
-	frac, err := solveLP2(in, jobs, par.MassTarget, lpOptions{dense: par.DenseLP})
+	frac, err := solveLP2(in, jobs, par.MassTarget, lpOptions{dense: par.DenseLP, crash: par.WarmBasis})
 	if err != nil {
 		return nil, err
 	}
@@ -270,6 +275,7 @@ func SUUIndependentLP(in *model.Instance, par Params) (*ChainsResult, error) {
 		LPRows:     frac.Rows,
 		LPCols:     frac.Cols,
 		LPNnz:      frac.Nnz,
+		LPBasis:    frac.Basis,
 	}, nil
 }
 

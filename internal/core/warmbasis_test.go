@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestWarmBasisDeterministicResolve pins the warm-start contract that
+// internal/serve relies on: re-solving the identical instance with the
+// exported optimal basis (Params.WarmBasis) re-derives the same
+// optimal vertex — T* agrees to floating-point roundoff (the warm
+// path's fresh factorization rounds the last ulp differently than the
+// cold run's accumulated eta file), the integral rounding and final
+// schedule are unchanged — while spending fewer simplex pivots,
+// because the solve starts at its own optimum.
+func TestWarmBasisDeterministicResolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 5; trial++ {
+		in := randomInstance(4+rng.Intn(8), 2+rng.Intn(4), rng)
+		par := DefaultParams()
+		cold, err := SUUIndependentLP(in, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.LPBasis == nil {
+			t.Fatal("sparse LP2 solve exported no basis")
+		}
+
+		par.WarmBasis = cold.LPBasis
+		warm, err := SUUIndependentLP(in, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := warm.TStar - cold.TStar; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("warm T* = %v, cold %v", warm.TStar, cold.TStar)
+		}
+		if !reflect.DeepEqual(warm.Round, cold.Round) {
+			t.Fatalf("warm rounding differs from cold")
+		}
+		if !reflect.DeepEqual(warm.Schedule, cold.Schedule) {
+			t.Fatalf("warm schedule differs from cold")
+		}
+		if cold.LPPivots > 0 && warm.LPPivots >= cold.LPPivots {
+			t.Errorf("warm solve spent %d pivots, cold %d — basis not adopted",
+				warm.LPPivots, cold.LPPivots)
+		}
+	}
+}
+
+// TestWarmBasisShapeMismatchFallsBack feeds a basis cut from a
+// different formulation: the solve must ignore it (crash basis as
+// usual) and still reproduce the cold result.
+func TestWarmBasisShapeMismatchFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	small := randomInstance(4, 2, rng)
+	big := randomInstance(9, 4, rng)
+
+	par := DefaultParams()
+	donor, err := SUUIndependentLP(small, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := SUUIndependentLP(big, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par.WarmBasis = donor.LPBasis
+	got, err := SUUIndependentLP(big, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TStar != cold.TStar || !reflect.DeepEqual(got.Schedule, cold.Schedule) {
+		t.Fatal("mismatched warm basis changed the solve")
+	}
+}

@@ -1,35 +1,3 @@
-// Package dispatch is the fault-tolerant multi-runner layer between a
-// grid sweep and the processes (or machines) that execute it. The
-// sharding layer in internal/exp already makes every sweep a set of
-// fingerprinted, gap-retryable cell ranges; this package owns getting
-// those ranges executed somewhere and the results back *despite* lost
-// runners, slow runners, corrupt envelopes, and partial failures.
-//
-// The split of responsibilities:
-//
-//   - A Transport moves one (plan, config, range) job to a runner and
-//     an envelope back. It is dumb about policy: it reports what
-//     happened and nothing else. Backends: InProcess (run it right
-//     here), LocalExec (fork a worker process — cmd/suu-grid's
-//     self-exec path behind the interface), SharedDir (spool job
-//     tickets into a watched directory, collect envelope files back —
-//     any shared filesystem or object store), and Flaky (a seeded
-//     fault-injection wrapper for chaos testing).
-//
-//   - The Coordinator owns the robustness policy: per-range deadlines
-//     with exponential backoff and deterministic jitter on re-issue,
-//     straggler detection with speculative re-slicing, per-runner
-//     health scoring with blacklisting, graceful degradation to fewer
-//     runners (down to in-process execution), and per-runner
-//     throughput records.
-//
-// The central invariant — pinned by the chaos parity tests — is that
-// a sweep run under heavy injected faults merges byte-identical to
-// the fault-free sequential run, or fails loudly with the exact
-// missing [lo:hi) range. Corruption is detected, not trusted: every
-// delivered envelope is validated against the sweep fingerprint, the
-// requested range, and its sealed payload checksum, and every
-// detected fault converts into a re-issuable range error.
 package dispatch
 
 import (

@@ -126,6 +126,46 @@ type DispatchBench struct {
 	Error  string `json:"error,omitempty"`
 }
 
+// ServeBench records the serving layer's load-harness results: a
+// storm of concurrent clients driving a mixed repeat/fresh workload
+// through the full handler stack, with cache-hit latency measured
+// against cold-build latency. The type lives here (not in
+// internal/serve) for the same reason DispatchBench does: the
+// BENCH_sim.json document stays a single package's contract;
+// internal/serve fills it and cmd/suu-bench wires it in.
+type ServeBench struct {
+	// Clients is the concurrent client count; Requests the total
+	// requests they issued (mixed solves and estimates, repeat and
+	// fresh).
+	Clients  int `json:"clients"`
+	Requests int `json:"requests"`
+	// HotInstances is the pre-warmed repeat set; FreshInstances the
+	// distinct never-before-seen instances solved cold mid-storm.
+	HotInstances   int     `json:"hot_instances"`
+	FreshInstances int     `json:"fresh_instances"`
+	WallMS         float64 `json:"wall_ms"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	// ColdP50MS/ColdP99MS are cold-build solve latencies (fresh
+	// instances); HitP50MS/HitP99MS are result-cache-hit latencies.
+	ColdP50MS float64 `json:"cold_p50_ms"`
+	ColdP99MS float64 `json:"cold_p99_ms"`
+	HitP50MS  float64 `json:"hit_p50_ms"`
+	HitP99MS  float64 `json:"hit_p99_ms"`
+	// SpeedupP50 = ColdP50MS / HitP50MS — the number the CI gate
+	// asserts stays ≥10.
+	SpeedupP50 float64 `json:"speedup_p50"`
+	// HitRate is hits/(hits+misses) on the result cache over the whole
+	// run; Coalesced counts requests that shared another request's
+	// in-flight build (the thundering-herd protection at work).
+	HitRate   float64 `json:"hit_rate"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Coalesced uint64  `json:"coalesced"`
+	Evictions uint64  `json:"evictions"`
+	Errors    int     `json:"errors,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
 // AdaptiveEngineBench is one row of the adaptive_engine section: the
 // compiled transition-table engine measured head to head against the
 // generic step engine on the same stationary policy — the number the
@@ -227,6 +267,10 @@ type SimBenchFile struct {
 	// throughput and the wall-clock overhead of a chaos sweep vs the
 	// fault-free run (filled by internal/dispatch via cmd/suu-bench).
 	Dispatch *DispatchBench `json:"dispatch,omitempty"`
+	// Serve records the serving layer's load harness: concurrent-client
+	// storm, cache-hit vs cold latency, coalescing counters (filled by
+	// internal/serve via cmd/suu-bench).
+	Serve *ServeBench `json:"serve,omitempty"`
 	// Skipped records families whose schedule construction failed, so
 	// a lost row reads as an error instead of silently shrinking the
 	// perf record.

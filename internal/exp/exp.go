@@ -1,13 +1,3 @@
-// Package exp contains the experiment drivers that regenerate every
-// table of EXPERIMENTS.md — the empirical validation of each theorem
-// of Lin & Rajaraman (SPAA 2007) — plus the ablations called out in
-// DESIGN.md. Each driver returns a Table; cmd/suu-bench renders them.
-//
-// The drivers are built on the scenario-grid harness in grid.go:
-// every Monte Carlo cell (one instance × one solver × one trial)
-// derives its seeds from its own coordinates and evaluates on a
-// worker pool, so tables are bit-identical at any Workers setting and
-// any GOMAXPROCS while multi-core runs cut wall-clock time.
 package exp
 
 import (

@@ -2,8 +2,6 @@ package exp
 
 import (
 	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"suu/internal/fingerprint"
 )
 
 // This file is the process-sharding layer over the scenario-grid
@@ -189,23 +189,18 @@ type fingerprintDoc struct {
 }
 
 // Fingerprint hashes the (config, plan) pair that a shard was cut
-// from. Two shard files merge only if their fingerprints match: same
-// spec list, same root seed, same repetition counts, same schema.
+// from (via the shared internal/fingerprint canon). Two shard files
+// merge only if their fingerprints match: same spec list, same root
+// seed, same repetition counts, same schema.
 func Fingerprint(cfg Config, p GridPlan) string {
-	doc, err := json.Marshal(fingerprintDoc{
+	return fingerprint.JSON(fingerprintDoc{
 		Schema: ShardSchemaVersion,
 		Plan:   p.ID,
 		Specs:  p.Specs,
 		Seed:   cfg.Seed,
 		Quick:  cfg.Quick,
 		Reps:   cfg.reps(),
-	})
-	if err != nil {
-		// GridSpec is plain data; marshal cannot fail.
-		panic("exp: fingerprint marshal: " + err.Error())
-	}
-	sum := sha256.Sum256(doc)
-	return hex.EncodeToString(sum[:8])
+	}, 8)
 }
 
 // RunPlanRange evaluates cells [r.Lo:r.Hi) of the plan on the worker
@@ -302,7 +297,7 @@ func (f *ShardFile) payloadChecksum() string {
 	for i, c := range f.Cells {
 		rows[i] = c.CellRow
 	}
-	doc, err := json.Marshal(struct {
+	return fingerprint.JSON(struct {
 		Schema      int       `json:"schema"`
 		Fingerprint string    `json:"fingerprint"`
 		Plan        string    `json:"plan"`
@@ -311,13 +306,7 @@ func (f *ShardFile) payloadChecksum() string {
 		TotalCells  int       `json:"total_cells"`
 		Range       CellRange `json:"range"`
 		Rows        []CellRow `json:"rows"`
-	}{f.SchemaVersion, f.Fingerprint, f.Plan, f.Seed, f.Quick, f.TotalCells, f.Range, rows})
-	if err != nil {
-		// Plain data; marshal cannot fail.
-		panic("exp: payload checksum marshal: " + err.Error())
-	}
-	sum := sha256.Sum256(doc)
-	return hex.EncodeToString(sum[:16])
+	}{f.SchemaVersion, f.Fingerprint, f.Plan, f.Seed, f.Quick, f.TotalCells, f.Range, rows}, 16)
 }
 
 // SealPayload stamps the envelope's payload checksum. RunShard seals

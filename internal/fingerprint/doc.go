@@ -1,0 +1,24 @@
+// Package fingerprint is the one way this repository names content:
+// a SHA-256 over a canonical JSON encoding, truncated to a fixed hex
+// width. It grew out of internal/exp's shard machinery — the sweep
+// fingerprint that decides whether two shard envelopes were cut from
+// the same (config, plan) pair, and the payload checksum that detects
+// corruption in transit — and is now shared with internal/serve,
+// which keys cached solve results, compiled simulation engines, and
+// LP warm-start bases by instance fingerprint.
+//
+// The contract callers rely on:
+//
+//   - Deterministic: the same Go value always hashes to the same
+//     string (encoding/json is deterministic for the plain-data
+//     structs used as fingerprint documents — struct fields in
+//     declaration order, map keys sorted).
+//   - Canonical inputs are the caller's job: anything that should NOT
+//     change the fingerprint (worker counts, wall-clock, edge
+//     insertion order) must be excluded or normalized before hashing.
+//     exp excludes Workers; serve sorts precedence edges.
+//   - Truncation widths are part of the on-disk format: exp's sweep
+//     fingerprints are 8 bytes (16 hex chars) and payload checksums
+//     16 bytes (32 hex chars), and persisted envelopes hold both, so
+//     the widths here can never change without a shard schema bump.
+package fingerprint

@@ -1,0 +1,26 @@
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// JSON hashes doc's JSON encoding and returns the first n bytes of
+// the SHA-256 sum as lowercase hex (2n characters). doc must be plain
+// data — a marshal failure is a programming error and panics, exactly
+// as the exp fingerprint always has.
+func JSON(doc any, n int) string {
+	b, err := json.Marshal(doc)
+	if err != nil {
+		panic("fingerprint: marshal: " + err.Error())
+	}
+	return Bytes(b, n)
+}
+
+// Bytes hashes raw bytes and returns the first n bytes of the
+// SHA-256 sum as lowercase hex.
+func Bytes(b []byte, n int) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:n])
+}

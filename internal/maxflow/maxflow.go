@@ -1,8 +1,3 @@
-// Package maxflow implements Dinic's maximum-flow algorithm on
-// integer-capacity networks. It is the rounding engine of Theorem 4.1
-// of Lin & Rajaraman (SPAA 2007): an integral maximum flow on the
-// job/machine network extracts integral assignments x̂_ij from the
-// fractional LP solution (integrality follows from Ford–Fulkerson).
 package maxflow
 
 import "fmt"

@@ -1,0 +1,16 @@
+// Package model defines the SUU problem instance shared by all other
+// packages: n unit-time jobs, m machines, a success-probability matrix
+// P and a precedence dag over the jobs.
+//
+// The instance corresponds to the input of the SUU problem of Lin &
+// Rajaraman (SPAA 2007): P[i][j] is the probability that machine i
+// completes job j when assigned to it for one time step, independently
+// of every other (machine, job, step) outcome.
+//
+// Invariants other packages rely on: the probability matrix is backed
+// by one contiguous flat slice (P's rows alias it), so engines may
+// take the flat view for cache-friendly scans; instances marshal to
+// the documented JSON shape {jobs, machines, p, edges} shared by the
+// cmd tools and the serve API, and unmarshalling re-validates
+// dimensions and rebuilds the dag from the edge list.
+package model

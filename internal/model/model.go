@@ -1,11 +1,3 @@
-// Package model defines the SUU problem instance shared by all other
-// packages: n unit-time jobs, m machines, a success-probability matrix
-// P and a precedence dag over the jobs.
-//
-// The instance corresponds to the input of the SUU problem of Lin &
-// Rajaraman (SPAA 2007): P[i][j] is the probability that machine i
-// completes job j when assigned to it for one time step, independently
-// of every other (machine, job, step) outcome.
 package model
 
 import (

@@ -1,0 +1,15 @@
+// Package sched defines the schedule representations of Lin &
+// Rajaraman (SPAA 2007) and the transformations between them:
+//
+//   - Assignment — one step's machine→job map;
+//   - Policy — the general (possibly adaptive) schedule abstraction;
+//   - Regimen — a stationary policy f_S depending only on the
+//     unfinished set (Definition 2.2);
+//   - Oblivious — a time-indexed schedule independent of the unfinished
+//     set (Definition 2.3), as a finite prefix plus an infinite tail;
+//   - Pseudo — a pseudo-schedule (Definition 4.1): per-chain schedules
+//     whose union may assign a machine to several jobs per step;
+//   - transformations: random delays, flattening, replication,
+//     concatenation (Section 4.1's conversion pipeline);
+//   - mass accounting (Definition 2.4) and feasibility validation.
+package sched

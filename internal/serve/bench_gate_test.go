@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"os"
+	"testing"
+
+	"suu/internal/exp"
+)
+
+// TestServeLoadGate is the CI bench-smoke assertion for the serving
+// layer: the load harness (1000 concurrent clients, mixed repeat/fresh
+// workload) must complete with zero failed requests, a working
+// single-flight path (coalesced > 0 from the deliberate thundering
+// herd), and repeat (cache-hit) solve latency at least 10x below a
+// cold build at the p50. It only runs when BENCH_SMOKE=1 — wall-clock
+// ratios are meaningless under the race detector or a loaded laptop.
+// Unlike the engine gates it does NOT skip on single-core runners: the
+// hit path is a map lookup against a cold path that solves an LP, so
+// the ratio is orders of magnitude even under scheduling noise.
+func TestServeLoadGate(t *testing.T) {
+	if os.Getenv("BENCH_SMOKE") == "" {
+		t.Skip("set BENCH_SMOKE=1 to run the serve load gate")
+	}
+	b := Benchmark(exp.Config{Quick: true, Seed: 1})
+	t.Logf("serve storm: %d clients, %d requests in %.0fms (%.0f req/s); cold p50 %.3fms hit p50 %.4fms (%.0fx); hit rate %.2f, %d coalesced, %d evictions",
+		b.Clients, b.Requests, b.WallMS, b.RequestsPerSec,
+		b.ColdP50MS, b.HitP50MS, b.SpeedupP50, b.HitRate, b.Coalesced, b.Evictions)
+	if b.Clients < 1000 {
+		t.Errorf("storm ran %d clients, want ≥1000", b.Clients)
+	}
+	if b.Errors > 0 {
+		t.Errorf("%d requests failed during the storm", b.Errors)
+	}
+	if b.Coalesced == 0 {
+		t.Error("thundering herd produced no coalesced requests — single-flight is not engaging")
+	}
+	if b.SpeedupP50 < 10 {
+		t.Errorf("cache-hit solve latency only %.1fx below cold (want ≥10x): cold p50 %.3fms, hit p50 %.3fms",
+			b.SpeedupP50, b.ColdP50MS, b.HitP50MS)
+	}
+	if b.HitRate < 0.5 {
+		t.Errorf("hit rate %.2f below the workload's designed repeat share", b.HitRate)
+	}
+}

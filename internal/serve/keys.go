@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"sort"
+
+	"suu/internal/fingerprint"
+	"suu/internal/model"
+)
+
+// The cache keys are content fingerprints (internal/fingerprint), so
+// identical content hits the same entry no matter how it arrived:
+// inline instances and instance_id references, "auto" and the concrete
+// solver id it resolves to, a JSON body with reordered fields — all
+// collapse to one key. Every doc below is canonicalized before hashing
+// (edges sorted; auto resolved by the caller) and every key kind hashes
+// a structurally distinct doc, so kinds cannot collide with each other.
+
+// instanceKeyWidth is the truncation width (hex chars = 2× bytes) of
+// instance and schedule ids. 16 hex chars = 64 bits: collisions need
+// ~2^32 distinct instances in one daemon's lifetime.
+const instanceKeyWidth = 8
+
+// instanceDoc is the canonical form of an instance: the JSON wire
+// shape with the edge list sorted. model.Instance marshals edges in
+// insertion order, so two submissions of the same dag with edges added
+// in different orders would otherwise fingerprint apart.
+type instanceDoc struct {
+	Jobs     int         `json:"jobs"`
+	Machines int         `json:"machines"`
+	P        [][]float64 `json:"p"`
+	Edges    [][2]int    `json:"edges"`
+}
+
+// InstanceKey fingerprints an instance by content.
+func InstanceKey(in *model.Instance) string {
+	doc := instanceDoc{Jobs: in.N, Machines: in.M, P: in.P}
+	for u := 0; u < in.N; u++ {
+		for _, v := range in.Prec.Succs(u) {
+			doc.Edges = append(doc.Edges, [2]int{u, v})
+		}
+	}
+	sort.Slice(doc.Edges, func(i, j int) bool {
+		if doc.Edges[i][0] != doc.Edges[j][0] {
+			return doc.Edges[i][0] < doc.Edges[j][0]
+		}
+		return doc.Edges[i][1] < doc.Edges[j][1]
+	})
+	return fingerprint.JSON(doc, instanceKeyWidth)
+}
+
+// solveKey identifies one solve: instance content, the CONCRETE solver
+// id (the handler resolves "auto" before keying, so auto and explicit
+// requests share entries), and the construction seed. It doubles as
+// the schedule id returned to clients.
+func solveKey(instKey, solver string, seed int64) string {
+	return fingerprint.JSON(struct {
+		Kind     string `json:"kind"`
+		Instance string `json:"instance"`
+		Solver   string `json:"solver"`
+		Seed     int64  `json:"seed"`
+	}{"solve", instKey, solver, seed}, instanceKeyWidth)
+}
+
+// basisKey identifies the LP warm-start basis of a solve. It is the
+// solve key under a distinct kind: the basis outlives the (much
+// larger) result entry in its own cache, and must never collide with
+// it.
+func basisKey(instKey, solver string, seed int64) string {
+	return fingerprint.JSON(struct {
+		Kind     string `json:"kind"`
+		Instance string `json:"instance"`
+		Solver   string `json:"solver"`
+		Seed     int64  `json:"seed"`
+	}{"basis", instKey, solver, seed}, instanceKeyWidth)
+}
+
+// estimateKey identifies one estimate: the schedule plus every
+// parameter that feeds the repetition streams or the convergence loop.
+// Worker count is deliberately absent — estimates are bit-identical at
+// any concurrency (the engine contract), so it must not split the
+// cache.
+func estimateKey(scheduleID string, simSeed int64, reps, maxSteps int, ciHW float64, maxReps int) string {
+	return fingerprint.JSON(struct {
+		Kind       string  `json:"kind"`
+		Schedule   string  `json:"schedule"`
+		SimSeed    int64   `json:"sim_seed"`
+		Reps       int     `json:"reps"`
+		MaxSteps   int     `json:"max_steps"`
+		CIHW       float64 `json:"ci_half_width"`
+		MaxRepsCap int     `json:"max_reps"`
+	}{"estimate", scheduleID, simSeed, reps, maxSteps, ciHW, maxReps}, instanceKeyWidth)
+}
+
+// instanceSizeBytes estimates an instance's resident footprint for
+// cache accounting.
+func instanceSizeBytes(in *model.Instance) int64 {
+	return int64(in.N)*int64(in.M)*8 + int64(in.Prec.E())*16 + 128
+}

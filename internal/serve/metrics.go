@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"sync"
+
+	"suu/internal/stats"
+)
+
+// endpointStats accumulates one endpoint's latency distribution with
+// O(1) memory: request and error counts, a latency sum for the mean,
+// and streaming P² estimators for the p50/p99 — the same
+// stats.P2Quantile the simulator's quantile paths use, so the daemon
+// never materializes a latency log.
+type endpointStats struct {
+	mu     sync.Mutex
+	count  uint64
+	errors uint64
+	sumMS  float64
+	p50    *stats.P2Quantile
+	p99    *stats.P2Quantile
+}
+
+func newEndpointStats() *endpointStats {
+	return &endpointStats{p50: stats.NewP2Quantile(0.5), p99: stats.NewP2Quantile(0.99)}
+}
+
+func (e *endpointStats) observe(ms float64, isErr bool) {
+	e.mu.Lock()
+	e.count++
+	if isErr {
+		e.errors++
+	}
+	e.sumMS += ms
+	e.p50.Add(ms)
+	e.p99.Add(ms)
+	e.mu.Unlock()
+}
+
+// EndpointMetrics is one endpoint's row in /metricsz.
+type EndpointMetrics struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+func (e *endpointStats) snapshot() EndpointMetrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := EndpointMetrics{Count: e.count, Errors: e.errors}
+	if e.count > 0 {
+		m.MeanMS = e.sumMS / float64(e.count)
+	}
+	if e.p50.N() > 0 {
+		m.P50MS = e.p50.Value()
+		m.P99MS = e.p99.Value()
+	}
+	return m
+}
+
+// metrics is the per-endpoint latency registry behind /metricsz.
+type metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*endpointStats)}
+}
+
+func (m *metrics) endpoint(name string) *endpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.endpoints[name]
+	if !ok {
+		e = newEndpointStats()
+		m.endpoints[name] = e
+	}
+	return e
+}
+
+func (m *metrics) snapshot() map[string]EndpointMetrics {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for n := range m.endpoints {
+		names = append(names, n)
+	}
+	m.mu.Unlock()
+	out := make(map[string]EndpointMetrics, len(names))
+	for _, n := range names {
+		out[n] = m.endpoint(n).snapshot()
+	}
+	return out
+}

@@ -48,11 +48,20 @@ func EstimateParallelInfo(in *model.Instance, pol sched.Policy, reps, maxSteps i
 	if reps <= 0 {
 		panic("sim: reps must be positive")
 	}
+	return estimateChunked(in, pol, reps, maxSteps, seed, effectiveWorkers(pol, concurrency))
+}
+
+// effectiveWorkers resolves a requested concurrency against the
+// policy's parallelizability: observer policies always run
+// sequentially, and concurrency <= 0 selects GOMAXPROCS. Shared by
+// EstimateParallelInfo and the Prepared form so both degrade
+// identically.
+func effectiveWorkers(pol sched.Policy, concurrency int) int {
 	if !Parallelizable(pol) || concurrency == 1 {
-		return estimateChunked(in, pol, reps, maxSteps, seed, 1)
+		return 1
 	}
 	if concurrency <= 0 {
-		concurrency = runtime.GOMAXPROCS(0)
+		return runtime.GOMAXPROCS(0)
 	}
-	return estimateChunked(in, pol, reps, maxSteps, seed, concurrency)
+	return concurrency
 }

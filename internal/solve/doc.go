@@ -1,0 +1,23 @@
+// Package solve is the solver registry: every schedule construction
+// in the repository — the paper's approximation algorithms, the exact
+// dynamic program, the online learner, and the naive baselines — is
+// registered here under a stable id together with its metadata (the
+// theorem it implements, the guarantee it certifies, the precedence
+// classes it applies to, oblivious vs adaptive, and whether simulated
+// repetitions of the built policy may fan out across goroutines).
+//
+// Every consumer dispatches through the registry: the public suu API
+// (suu.Solve picks the strongest applicable construction via Auto),
+// cmd/suu-sim's -alg flag, cmd/suu-bench's per-solver construction
+// benchmarks, and the experiment grid in internal/exp. Registering a
+// construction here makes it reachable from all of them at once;
+// there is deliberately no other per-layer solver switch to keep in
+// sync.
+//
+// A Build returns a Result: the policy itself plus everything a
+// caller may want to reuse or report — the LP objective and lower
+// bound when an LP ran, the exported simplex basis (LPBasis) that a
+// later solve of the same instance can warm-start from, and the
+// exact solver's search counters (Exact) that suu-sim -stats and the
+// benchmark harness surface.
+package solve

@@ -156,6 +156,7 @@ func buildLPOblivious(in *model.Instance, par core.Params) (*Result, error) {
 		LPRows:     res.LPRows,
 		LPCols:     res.LPCols,
 		LPNnz:      res.LPNnz,
+		LPBasis:    res.LPBasis,
 		Detail:     fmt.Sprintf("LP oblivious (T*=%.2f, lower bound %.2f)", res.TStar, res.LowerBound),
 	}, nil
 }
@@ -274,6 +275,7 @@ func buildOptimal(in *model.Instance, par core.Params) (*Result, error) {
 		ExactValue:       topt,
 		ExactStates:      st.States,
 		ExactTransitions: st.Transitions,
+		Exact:            st,
 		Detail: fmt.Sprintf("optimal regimen (exact E[makespan]=%.4f, %d closed states, %d transitions, %d closed-form)",
 			topt, st.States, st.Transitions, st.ClosedForm),
 	}, nil

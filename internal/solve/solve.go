@@ -1,18 +1,3 @@
-// Package solve is the solver registry: every schedule construction
-// in the repository — the paper's approximation algorithms, the exact
-// dynamic program, the online learner, and the naive baselines — is
-// registered here under a stable id together with its metadata (the
-// theorem it implements, the guarantee it certifies, the precedence
-// classes it applies to, oblivious vs adaptive, and whether simulated
-// repetitions of the built policy may fan out across goroutines).
-//
-// Every consumer dispatches through the registry: the public suu API
-// (suu.Solve picks the strongest applicable construction via Auto),
-// cmd/suu-sim's -alg flag, cmd/suu-bench's per-solver construction
-// benchmarks, and the experiment grid in internal/exp. Registering a
-// construction here makes it reachable from all of them at once;
-// there is deliberately no other per-layer solver switch to keep in
-// sync.
 package solve
 
 import (
@@ -22,7 +7,9 @@ import (
 
 	"suu/internal/core"
 	"suu/internal/dag"
+	"suu/internal/lp"
 	"suu/internal/model"
+	"suu/internal/opt"
 	"suu/internal/sched"
 )
 
@@ -65,6 +52,17 @@ type Result struct {
 	// across a decomposition's blocks; dimensions are the largest
 	// block's). Zero for combinatorial and adaptive solvers.
 	LPPivots, LPRows, LPCols, LPNnz int
+	// LPBasis is the optimal simplex basis of the LP solve, exported so
+	// warm-start caches (internal/serve) can re-solve an evicted result
+	// for the identical instance pivot-free via core.Params.WarmBasis.
+	// Non-nil only for constructions with a single direct sparse solve
+	// (lp-oblivious); nil under the dense oracle and on lazy or
+	// per-block pipelines.
+	LPBasis *lp.Basis
+	// Exact holds the value iteration's full search counters (optimal
+	// solver only) — ExactStates/ExactTransitions plus layer, pruning
+	// and closed-form statistics, surfaced by suu-sim -stats.
+	Exact *opt.Stats
 	// Blocks and Decomp describe the chain decomposition used
 	// (forest solver only): block count and method.
 	Blocks int

@@ -1,0 +1,23 @@
+// Package stats provides the small statistical toolkit used by the
+// simulator, the experiment harness, and the serving layer: summaries
+// with confidence intervals, ratio helpers, deterministic quantiles,
+// and streaming estimators.
+//
+// The pieces and their contracts:
+//
+//   - Summary carries N, Mean, StdDev, Min, Max and HalfWidth95 (the
+//     95% normal-approximation confidence half-width); it is the one
+//     makespan-estimate shape every estimator returns.
+//   - Accumulator is a mergeable streaming moment accumulator: the
+//     parallel estimators aggregate repetitions into fixed-size
+//     chunks and merge the chunks in order, which is what makes
+//     simulation summaries bit-identical at every concurrency.
+//   - Quantile sorts a copy and interpolates — deterministic,
+//     O(n log n), for offline samples like bench latency lists.
+//   - P2Quantile is the P² streaming quantile estimator: O(1) memory
+//     per tracked quantile, no sample retention, used by the serve
+//     layer's per-endpoint latency metrics where holding every
+//     observation would be an unbounded buffer. Its estimates are
+//     approximate (markers maintained by parabolic interpolation),
+//     so it is for monitoring, not for pinned tests.
+package stats

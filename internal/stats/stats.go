@@ -1,6 +1,3 @@
-// Package stats provides the small statistical toolkit used by the
-// simulator and the experiment harness: summaries with confidence
-// intervals, ratio helpers, and deterministic quantiles.
 package stats
 
 import (

@@ -1,8 +1,3 @@
-// Package workload generates SUU instances for tests, examples, and
-// the experiment harness: random probability matrices of several
-// shapes (uniform, machine specialists, bimodal) combined with the
-// precedence families analysed in the paper (independent, disjoint
-// chains, out-/in-trees, mixed forests, and layered general dags).
 package workload
 
 import (
