@@ -43,9 +43,10 @@
 //	                          # record holds just the serve section
 //
 // Distributed sweeps (see README "Distributed sweeps"): a shardable
-// grid table (T13, T14, the T10 solver sweep, the A2/A5 ablation
-// grids) can be cut into half-open cell ranges, each executed in its
-// own process, and merged bit-identically:
+// grid table (T13, T14, the T15 dynamic-scenario grid, the T10
+// solver sweep, the A2/A5 ablation grids) can be cut into half-open
+// cell ranges, each executed in its own process, and merged
+// bit-identically:
 //
 //	suu-bench -grid T13 -cells 0:12 -json-cells s0.json
 //	                          # run cells [0:12) of T13's plan and
@@ -92,7 +93,7 @@ func main() {
 		serveOnly = flag.Bool("serve", false, "run the serving-layer load harness in isolation and exit (skips the experiment drivers)")
 		commit    = flag.String("commit", os.Getenv("GITHUB_SHA"), "commit SHA to embed in the -json perf record (defaults to $GITHUB_SHA)")
 
-		gridID    = flag.String("grid", "", "run one shardable grid table (T13, T14, T10, A2, A5) through the cell-range path")
+		gridID    = flag.String("grid", "", "run one shardable grid table (T13, T14, T15, T10, A2, A5) through the cell-range path")
 		cellsFlag = flag.String("cells", "", "with -grid: half-open cell range a:b to execute (default: all cells)")
 		shardFlag = flag.String("shard", "", "with -grid: execute shard k/N (0-indexed) of the plan's cells")
 		jsonCells = flag.String("json-cells", "", "with -grid/-merge: write the shard envelope / merged document here")

@@ -32,7 +32,7 @@ func ExampleAdaptive() {
 	inst.SetProb(0, 0, 1)
 	inst.SetProb(1, 1, 1)
 
-	s := suu.Adaptive(inst)
+	s := suu.MustAdaptive(inst)
 	makespan, completed := s.RunOnce(inst, 1, 100)
 	fmt.Println(makespan, completed)
 	// Output: 1 true

@@ -39,7 +39,7 @@ func main() {
 			log.Fatal(err)
 		}
 
-		adaptive := suu.Adaptive(inst)
+		adaptive := suu.MustAdaptive(inst)
 		comb, err := suu.ObliviousCombinatorial(inst, suu.WithSeed(int64(n)))
 		if err != nil {
 			log.Fatal(err)

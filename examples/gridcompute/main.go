@@ -59,7 +59,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	contenders := []*suu.Schedule{tree, suu.Adaptive(inst)}
+	contenders := []*suu.Schedule{tree, suu.MustAdaptive(inst)}
 	for _, b := range []suu.Baseline{suu.BaselineGreedy, suu.BaselineRoundRobin, suu.BaselineAllOnOne} {
 		s, err := suu.NewBaseline(inst, b, seed)
 		if err != nil {

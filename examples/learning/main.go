@@ -35,14 +35,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	clairvoyant := suu.Adaptive(inst)
+	clairvoyant := suu.MustAdaptive(inst)
 	estC, err := clairvoyant.EstimateMakespan(inst, 600)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("clairvoyant adaptive (knows p):      %s\n\n", estC)
 
-	learner := suu.Learning(inst, 0.7)
+	learner := suu.MustLearning(inst, suu.WithOptimism(0.7))
 	fmt.Println("training the online learner (posterior persists across batches):")
 	for batch := 1; batch <= 5; batch++ {
 		est, err := learner.EstimateMakespan(inst, 300, suu.WithSimSeed(int64(batch)))

@@ -67,7 +67,7 @@ func main() {
 	// The oblivious plan can be printed as a calendar the manager can
 	// follow without observing outcomes; here we just show how the
 	// adaptive greedy compares.
-	adaptive := suu.Adaptive(inst)
+	adaptive := suu.MustAdaptive(inst)
 	estA, err := adaptive.EstimateMakespan(inst, 1000)
 	if err != nil {
 		log.Fatal(err)

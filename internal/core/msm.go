@@ -44,9 +44,21 @@ func sortedPairs(in *model.Instance, active []bool) []pairPJ {
 // mass would stay at most 1. active[j] marks the jobs to serve;
 // machines left unused are Idle.
 func MSMAlg(in *model.Instance, active []bool) sched.Assignment {
+	return MSMAlgMasked(in, active, nil)
+}
+
+// MSMAlgMasked is MSM-ALG restricted to the machines marked up (nil =
+// every machine). The dynamic-scenario walk (internal/dyn) uses it as
+// the adaptive policy under breakdowns: the greedy ordering is
+// unchanged, machines that are down simply never claim a pair, so on
+// an all-up mask it coincides with MSMAlg exactly.
+func MSMAlgMasked(in *model.Instance, active, up []bool) sched.Assignment {
 	f := sched.NewIdle(in.M)
 	mass := make([]float64, in.N)
 	for _, pr := range sortedPairs(in, active) {
+		if up != nil && !up[pr.i] {
+			continue
+		}
 		if f[pr.i] != sched.Idle {
 			continue
 		}

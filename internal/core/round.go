@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"suu/internal/maxflow"
@@ -182,9 +183,19 @@ func RoundLP(in *model.Instance, fs *FracSolution, target float64) (*IntSolution
 			bk.machines = append(bk.machines, i)
 			bk.sumX += x
 		}
+		// Scan buckets in index order: lower-bound ties are exact more
+		// often than they look (halving minP against a doubled sumX is
+		// exact in float64), and map-order iteration would let the tie
+		// winner — and with it the rounded schedule — vary run to run.
+		keys := make([]int, 0, len(buckets))
+		for b := range buckets {
+			keys = append(keys, b)
+		}
+		sort.Ints(keys)
 		bestLB := 0.0
 		var best *bucket
-		for _, bk := range buckets {
+		for _, b := range keys {
+			bk := buckets[b]
 			if bk.sumX < 1.0/32 {
 				continue // light bucket, discarded as in the proof
 			}

@@ -19,6 +19,7 @@ var Drivers = []struct {
 	{"T12", T12},
 	{"T13", T13},
 	{"T14", T14},
+	{"T15", T15},
 	{"A1", A1},
 	{"A2", A2},
 	{"A3", A3},

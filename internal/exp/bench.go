@@ -260,6 +260,10 @@ type SimBenchFile struct {
 	// state-space shape per family, with the exhaustive-DP oracle timed
 	// side by side where it is feasible.
 	ExactSolver []ExactSolverBench `json:"exact_solver,omitempty"`
+	// Dynamic records the T15 dynamic-scenario strategies head to head
+	// (oblivious vs adaptive vs rolling re-solve) at each burst
+	// intensity, with the oblivious-vs-rolling adaptivity gap.
+	Dynamic []DynamicBench `json:"dynamic,omitempty"`
 	// Grid records the scenario-grid harness's cell throughput and
 	// parallel speedup.
 	Grid *GridHarnessBench `json:"grid_harness,omitempty"`
@@ -368,6 +372,7 @@ func SimBenchmarks(cfg Config) SimBenchFile {
 	file.BitParallelEngine = BitParallelEngineBenchmarks(cfg)
 	file.ExactSolver = ExactSolverBenchmarks(cfg)
 	file.LPBench = LPBenchmarks(cfg)
+	file.Dynamic = DynamicBenchmarks(cfg)
 	file.Grid = GridHarnessBenchmark(cfg)
 	return file
 }

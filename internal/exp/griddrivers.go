@@ -28,6 +28,7 @@ type GridDriver struct {
 var GridDrivers = []GridDriver{
 	{ID: "T13", Plan: t13Plan, Render: renderT13},
 	{ID: "T14", Plan: t14Plan, Render: renderT14},
+	{ID: "T15", Plan: t15Plan, Render: renderT15},
 	{ID: "T10", Plan: t10Plan, Render: renderT10},
 	{ID: "A2", Plan: a2Plan, Render: renderA2},
 	{ID: "A5", Plan: a5Plan, Render: renderA5},

@@ -55,6 +55,13 @@ const (
 	EngineCompiledAdaptive = "compiled-adaptive"
 	EngineLane             = "compiled-lane"
 	EngineLaneAdaptive     = "compiled-adaptive-lane"
+	// EngineDynamic is the dynamic-scenario step walk (internal/dyn):
+	// arrivals, outages and regime modulation change the instance
+	// mid-run, which the compiled engines' immutable tables cannot
+	// express — they refuse, and the scenario estimator runs this
+	// generic-style walk instead. Scenarios without events delegate
+	// back to the static engines and report those names.
+	EngineDynamic = "dynamic-step"
 )
 
 // EngineUsed reports which engine an estimation call actually ran —

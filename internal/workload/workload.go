@@ -268,3 +268,19 @@ func ProjectPlan(jobs, workers int, seed int64) *model.Instance {
 	c := Config{Jobs: jobs, Machines: workers, Shape: Specialist, Lo: 0.1, Hi: 0.85, Seed: seed}
 	return Chains(c, 2)
 }
+
+// ArrivalRamp returns per-job release steps for a staggered-arrival
+// scenario: job j arrives at step j*spacing, so the workload streams
+// in one job per spacing steps instead of being fully present at step
+// 0. Spacing 0 (or negative) is the static arrival pattern — every
+// entry zero. The slice plugs directly into dyn.Scenario.ArriveAt.
+func ArrivalRamp(jobs, spacing int) []int {
+	out := make([]int, jobs)
+	if spacing <= 0 {
+		return out
+	}
+	for j := range out {
+		out[j] = j * spacing
+	}
+	return out
+}

@@ -3,8 +3,8 @@ package suu
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 
-	"suu/internal/core"
 	"suu/internal/sched"
 )
 
@@ -16,12 +16,24 @@ import (
 // posterior persists across EstimateMakespan/RunOnce calls, so
 // repeated evaluation trains it.
 //
-// optimism ≥ 0 scales a UCB-style exploration bonus (0.5–1.0 works
-// well; 0 disables exploration).
-func Learning(x *Instance, optimism float64) *Schedule {
-	par := core.DefaultParams()
-	par.Optimism = optimism
-	return mustRegistrySchedule("learning", x, par)
+// WithOptimism(v) scales a UCB-style exploration bonus (0.5–1.0 works
+// well; 0 disables exploration; default 0.7).
+func Learning(x *Instance, opts ...Option) (*Schedule, error) {
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	return registrySchedule("learning", x, buildParams(opts))
+}
+
+// MustLearning is Learning panicking on error, for the callers that
+// used the pre-redesign error-free signature; new code should call
+// Learning.
+func MustLearning(x *Instance, opts ...Option) *Schedule {
+	s, err := Learning(x, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("suu: learning: %v", err))
+	}
+	return s
 }
 
 // Gantt renders the first maxSteps steps of an oblivious schedule as a

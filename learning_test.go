@@ -7,7 +7,7 @@ import (
 
 func TestLearningSchedule(t *testing.T) {
 	x := tinyIndependent()
-	s := Learning(x, 0.5)
+	s := MustLearning(x, WithOptimism(0.5))
 	if !s.Adaptive {
 		t.Error("learning schedule should be adaptive")
 	}
@@ -23,11 +23,11 @@ func TestLearningSchedule(t *testing.T) {
 	}
 	// After training, the learner should be within a small factor of
 	// the clairvoyant adaptive policy.
-	estL, err := Learning(x, 0.5).EstimateMakespan(x, 400)
+	estL, err := MustLearning(x, WithOptimism(0.5)).EstimateMakespan(x, 400)
 	if err != nil {
 		t.Fatal(err)
 	}
-	estA, err := Adaptive(x).EstimateMakespan(x, 400)
+	estA, err := MustAdaptive(x).EstimateMakespan(x, 400)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestGanttOnSolvedSchedule(t *testing.T) {
 	if !strings.Contains(g, "m0") || !strings.Contains(g, "m1") {
 		t.Errorf("gantt missing rows:\n%s", g)
 	}
-	if _, err := Adaptive(x).Gantt(5); err == nil {
+	if _, err := MustAdaptive(x).Gantt(5); err == nil {
 		t.Error("Gantt on adaptive schedule should error")
 	}
 }
@@ -77,7 +77,7 @@ func TestScheduleJSONRoundTrip(t *testing.T) {
 	if m1 != m2 {
 		t.Errorf("execution differs after round trip: %d vs %d", m1, m2)
 	}
-	if _, err := Adaptive(x).MarshalJSON(); err == nil {
+	if _, err := MustAdaptive(x).MarshalJSON(); err == nil {
 		t.Error("adaptive schedule serialized")
 	}
 	if _, err := LoadSchedule([]byte(`{}`)); err == nil {

@@ -8,6 +8,7 @@ import (
 	"suu/internal/sched"
 	"suu/internal/sim"
 	"suu/internal/solve"
+	"suu/internal/stats"
 )
 
 // Schedule is a solved SUU schedule: either an oblivious schedule
@@ -48,43 +49,35 @@ type Estimate struct {
 	// step cap before finishing (should be 0; a nonzero value means the
 	// cap was too small).
 	Runs, Incomplete int
+	// Engine records which simulation engine produced the estimate.
+	Engine EngineInfo
 }
 
-// String renders "mean ± hw".
-func (e Estimate) String() string {
-	return fmt.Sprintf("%.2f ± %.2f steps (n=%d)", e.Mean, e.HalfWidth95, e.Runs)
+// EngineInfo is the provenance of one estimate: which engine ran and
+// at what effective fan-out. Estimates are bit-identical across
+// worker counts; the engine name explains speed, and Spliced explains
+// last-digit differences between otherwise identical configurations
+// (a spliced run is a different Monte Carlo sample of the same
+// distribution).
+type EngineInfo struct {
+	// Name is the engine identifier: "generic", "compiled",
+	// "compiled-adaptive", their bit-parallel "-lane" forms, or
+	// "dynamic-step" for scenario walks.
+	Name string
+	// Lanes is the lockstep width of the bit-parallel engines (64), 0
+	// for the scalar ones.
+	Lanes int
+	// Workers is the effective goroutine fan-out after the
+	// parallelizability check.
+	Workers int
+	// States is the compiled adaptive engine's table size (0 otherwise).
+	States int
+	// Spliced reports closed-form sampling of terminal stretches.
+	Spliced bool
 }
 
-// estimateOptions configure EstimateMakespan.
-type estimateOptions struct {
-	maxSteps int
-	seed     int64
-}
-
-// EstimateOption configures EstimateMakespan.
-type EstimateOption func(*estimateOptions)
-
-// WithMaxSteps caps each simulated execution (default 1,000,000).
-func WithMaxSteps(steps int) EstimateOption {
-	return func(o *estimateOptions) { o.maxSteps = steps }
-}
-
-// WithSimSeed seeds the Monte Carlo executions (default 1).
-func WithSimSeed(seed int64) EstimateOption {
-	return func(o *estimateOptions) { o.seed = seed }
-}
-
-// EstimateMakespan estimates the schedule's expected makespan on the
-// instance by Monte Carlo simulation with reps independent runs.
-func (s *Schedule) EstimateMakespan(x *Instance, reps int, opts ...EstimateOption) (Estimate, error) {
-	if err := x.Validate(); err != nil {
-		return Estimate{}, err
-	}
-	o := estimateOptions{maxSteps: 1_000_000, seed: 1}
-	for _, f := range opts {
-		f(&o)
-	}
-	sum, incomplete := sim.Estimate(x.inner, s.policy, reps, o.maxSteps, o.seed)
+// newEstimate converts an internal summary + engine record.
+func newEstimate(sum stats.Summary, incomplete int, eng sim.EngineUsed) Estimate {
 	return Estimate{
 		Mean:        sum.Mean,
 		HalfWidth95: sum.HalfWidth95,
@@ -92,7 +85,32 @@ func (s *Schedule) EstimateMakespan(x *Instance, reps int, opts ...EstimateOptio
 		Max:         sum.Max,
 		Runs:        sum.N,
 		Incomplete:  incomplete,
-	}, nil
+		Engine: EngineInfo{
+			Name:    eng.Engine,
+			Lanes:   eng.Lanes,
+			Workers: eng.Workers,
+			States:  eng.States,
+			Spliced: eng.Spliced,
+		},
+	}
+}
+
+// String renders "mean ± hw".
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.2f ± %.2f steps (n=%d)", e.Mean, e.HalfWidth95, e.Runs)
+}
+
+// EstimateMakespan estimates the schedule's expected makespan on the
+// instance by Monte Carlo simulation with reps independent runs.
+// WithWorkers fans the repetitions out across goroutines without
+// changing a single bit of the result.
+func (s *Schedule) EstimateMakespan(x *Instance, reps int, opts ...Option) (Estimate, error) {
+	if err := x.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	o := buildOptions(opts)
+	sum, incomplete, eng := sim.EstimateParallelInfo(x.inner, s.policy, reps, o.maxSteps, o.simSeed, o.workers)
+	return newEstimate(sum, incomplete, eng), nil
 }
 
 // RunOnce executes the schedule once with the given seed and returns
@@ -139,14 +157,11 @@ func NewBaseline(x *Instance, b Baseline, seed int64) (*Schedule, error) {
 // (e.g. 0.5, 0.9, 0.95) from reps simulated executions — the deadline
 // the schedule can promise with the given confidence, not just its
 // mean.
-func (s *Schedule) MakespanQuantiles(x *Instance, reps int, qs []float64, opts ...EstimateOption) ([]float64, error) {
+func (s *Schedule) MakespanQuantiles(x *Instance, reps int, qs []float64, opts ...Option) ([]float64, error) {
 	if err := x.Validate(); err != nil {
 		return nil, err
 	}
-	o := estimateOptions{maxSteps: 1_000_000, seed: 1}
-	for _, f := range opts {
-		f(&o)
-	}
-	quants, _ := sim.MakespanQuantiles(x.inner, s.policy, reps, o.maxSteps, o.seed, qs)
+	o := buildOptions(opts)
+	quants, _ := sim.MakespanQuantiles(x.inner, s.policy, reps, o.maxSteps, o.simSeed, qs)
 	return quants, nil
 }

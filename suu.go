@@ -34,6 +34,11 @@
 // program), the online learner, and the baselines — lives in the
 // solver registry (internal/solve); Solve and the cmd/ tools are thin
 // dispatchers over it.
+//
+// Dynamic scenarios — staggered job arrivals, machine breakdown
+// windows, and hidden Markov-modulated failure bursts — wrap an
+// instance via NewScenario and are evaluated with the same options
+// vocabulary as everything else; see Scenario.
 package suu
 
 import (
@@ -120,40 +125,6 @@ func (x *Instance) Depth() int { return x.inner.Prec.Depth() }
 // Clone returns an independent deep copy.
 func (x *Instance) Clone() *Instance { return &Instance{inner: x.inner.Clone()} }
 
-// Option configures the solvers.
-type Option func(*core.Params)
-
-// WithSeed fixes the seed of every randomized construction step.
-func WithSeed(seed int64) Option {
-	return func(p *core.Params) { p.Seed = seed }
-}
-
-// WithMassTarget overrides the per-job mass target of the LP
-// constructions (default 1/2, the paper's constant).
-func WithMassTarget(target float64) Option {
-	return func(p *core.Params) { p.MassTarget = target }
-}
-
-// WithReplicationFactor overrides the σ = factor·⌈log₂ n⌉ schedule
-// replication (default 16).
-func WithReplicationFactor(factor int) Option {
-	return func(p *core.Params) { p.ReplicationFactor = factor }
-}
-
-// WithDelayTries sets how many random delay vectors the Las-Vegas
-// delay search samples (default 64).
-func WithDelayTries(tries int) Option {
-	return func(p *core.Params) { p.DelayTries = tries }
-}
-
-func buildParams(opts []Option) core.Params {
-	par := core.DefaultParams()
-	for _, o := range opts {
-		o(&par)
-	}
-	return par
-}
-
 // Solve computes an oblivious schedule using the strongest
 // construction the paper offers for the instance's precedence class:
 // it classifies the dag and dispatches to the best-ranked applicable
@@ -184,24 +155,30 @@ func registrySchedule(id string, x *Instance, par core.Params) (*Schedule, error
 	return fromResult(res), nil
 }
 
-// mustRegistrySchedule is registrySchedule for the constructions whose
-// Build cannot fail (adaptive, learning): a panic here beats the nil
-// *Schedule a swallowed error would hand the caller if one of them
-// ever grows a failure path.
-func mustRegistrySchedule(id string, x *Instance, par core.Params) *Schedule {
-	s, err := registrySchedule(id, x, par)
-	if err != nil {
-		panic(fmt.Sprintf("suu: %s: %v", id, err))
-	}
-	return s
-}
-
 // Adaptive returns SUU-I-ALG (Theorem 3.3): the greedy adaptive policy
 // that reruns MSM-ALG on the unfinished eligible jobs every step. For
 // independent jobs its expected makespan is O(log n)·OPT; with
 // precedence constraints it is a feasible greedy heuristic.
-func Adaptive(x *Instance) *Schedule {
-	return mustRegistrySchedule("adaptive", x, core.DefaultParams())
+//
+// Like every construction in this package it takes ...Option and
+// returns (*Schedule, error); MustAdaptive is the panicking shorthand.
+func Adaptive(x *Instance, opts ...Option) (*Schedule, error) {
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	return registrySchedule("adaptive", x, buildParams(opts))
+}
+
+// MustAdaptive is Adaptive panicking on error — the construction
+// itself cannot fail, so the only panics are invalid instances. It
+// exists for the callers that used the pre-redesign error-free
+// signature; new code should call Adaptive.
+func MustAdaptive(x *Instance, opts ...Option) *Schedule {
+	s, err := Adaptive(x, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("suu: adaptive: %v", err))
+	}
+	return s
 }
 
 // ObliviousCombinatorial returns SUU-I-OBL (Theorem 3.6) for

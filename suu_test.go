@@ -117,7 +117,7 @@ func TestSolveDispatch(t *testing.T) {
 
 func TestAdaptiveAndOblivious(t *testing.T) {
 	x := tinyIndependent()
-	a := Adaptive(x)
+	a := MustAdaptive(x)
 	if !a.Adaptive {
 		t.Error("adaptive flag unset")
 	}
@@ -197,7 +197,7 @@ func TestBaselines(t *testing.T) {
 
 func TestRunOnceDeterminism(t *testing.T) {
 	x := tinyIndependent()
-	s := Adaptive(x)
+	s := MustAdaptive(x)
 	m1, ok1 := s.RunOnce(x, 42, 100000)
 	m2, ok2 := s.RunOnce(x, 42, 100000)
 	if m1 != m2 || ok1 != ok2 {
@@ -211,7 +211,7 @@ func TestEstimateStringAndOptions(t *testing.T) {
 		t.Error("empty string")
 	}
 	x := tinyIndependent()
-	s := Adaptive(x)
+	s := MustAdaptive(x)
 	est, err := s.EstimateMakespan(x, 10, WithMaxSteps(1))
 	if err != nil {
 		t.Fatal(err)
@@ -223,7 +223,7 @@ func TestEstimateStringAndOptions(t *testing.T) {
 
 func TestMakespanQuantilesAPI(t *testing.T) {
 	x := tinyIndependent()
-	s := Adaptive(x)
+	s := MustAdaptive(x)
 	qs, err := s.MakespanQuantiles(x, 500, []float64{0.5, 0.95})
 	if err != nil {
 		t.Fatal(err)
